@@ -1,0 +1,94 @@
+"""§VI systems discussion — TEE world-switch and secure-channel overheads.
+
+The paper has no table for its §VI discussion; this bench quantifies the two
+overhead sources it describes for a PELTA deployment: (i) the per-inference
+context switches and boundary transfers of the shielded stem, and (ii) the
+extra bandwidth of pulling gradient updates out of the enclave during FL
+training rounds, as a function of how often updates are extracted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core import ShieldedModel
+from repro.models import build_model
+from repro.tee import SecureChannel, TrustZoneEnclave, WorldBoundary, WorldSwitchCostModel, establish_session
+from repro.utils.rng import spawn_rng
+
+
+def _inference_overhead(num_inferences: int = 20) -> dict:
+    """Simulated boundary cost of running shielded inferences."""
+    model = build_model("vit_b16", num_classes=10, image_size=32)
+    shielded = ShieldedModel(model)
+    rng = spawn_rng("bench.overhead")
+    inputs = rng.uniform(size=(num_inferences, 3, 32, 32))
+    for index in range(num_inferences):
+        shielded.predict(inputs[index : index + 1])
+    stats = shielded.enclave.boundary.stats
+    return {
+        "inferences": num_inferences,
+        "switches": stats.switches,
+        "bytes_in": stats.bytes_in,
+        "bytes_out": stats.bytes_out,
+        "simulated_time_us": stats.simulated_time_us,
+        "per_inference_us": stats.simulated_time_us / num_inferences,
+    }
+
+
+def _training_bandwidth(rounds: int = 5, extraction_period: int = 1) -> dict:
+    """Bandwidth of pulling stem-gradient updates out of the enclave.
+
+    ``extraction_period`` models the §VI mitigation of lowering the frequency
+    at which weight updates are pulled out of the enclave (averaging hidden
+    gradients over larger batches).
+    """
+    model = build_model("vit_b16", num_classes=10, image_size=32)
+    shielded = ShieldedModel(model)
+    rng = spawn_rng("bench.overhead.training")
+    channel, _ = establish_session(rng)
+    boundary = WorldBoundary(WorldSwitchCostModel())
+    stem_bytes = sum(p.nbytes for p in shielded.stem_parameters())
+    extracted = 0
+    for round_index in range(rounds):
+        if round_index % extraction_period == 0:
+            payload = np.concatenate([p.data.reshape(-1) for p in shielded.stem_parameters()])
+            channel.encrypt_array(payload)
+            boundary.secure_call(0, stem_bytes)
+            extracted += 1
+    return {
+        "rounds": rounds,
+        "extraction_period": extraction_period,
+        "extractions": extracted,
+        "bytes_out": boundary.stats.bytes_out,
+        "simulated_time_us": boundary.stats.simulated_time_us,
+    }
+
+
+def test_inference_world_switch_overhead(benchmark):
+    """Two world switches per shielded inference, with microsecond-scale cost."""
+    report = run_once(benchmark, _inference_overhead)
+    print()
+    print("Section VI — shielded inference boundary overhead")
+    for key, value in report.items():
+        print(f"  {key}: {value:,.1f}" if isinstance(value, float) else f"  {key}: {value}")
+    assert report["switches"] == 2 * report["inferences"]
+    # The paper argues elementary TEE crossings stay within microseconds to a
+    # millisecond; the simulated per-inference cost must stay in that regime.
+    assert report["per_inference_us"] < 10_000
+
+
+def test_training_extraction_bandwidth(benchmark):
+    """Lowering the extraction frequency reduces enclave egress proportionally."""
+    frequent = run_once(benchmark, _training_bandwidth, 6, 1)
+    sparse = _training_bandwidth(rounds=6, extraction_period=3)
+    print()
+    print("Section VI — FL-round gradient extraction bandwidth")
+    for report in (frequent, sparse):
+        print(
+            f"  period={report['extraction_period']} extractions={report['extractions']} "
+            f"bytes_out={report['bytes_out']:,} time_us={report['simulated_time_us']:,.1f}"
+        )
+    assert sparse["bytes_out"] < frequent["bytes_out"]
+    assert sparse["extractions"] == 2 and frequent["extractions"] == 6

@@ -1,0 +1,26 @@
+"""Table II — Attack parameters.
+
+The paper's Table II is a static configuration table; this bench verifies the
+published values are wired into the attack-suite builders and prints them.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.attacks import AttackSuiteConfig, build_attack_suite, build_saga, table2_parameters
+from repro.eval.tables import format_table2
+
+
+def test_table2_parameters(benchmark):
+    """Print Table II and check the suite builders honour it."""
+    params = run_once(benchmark, lambda: [table2_parameters(d) for d in ("cifar10", "cifar100", "imagenet")])
+    print()
+    print(format_table2())
+    cifar, _, imagenet = params
+    assert cifar.epsilon == 0.031 and imagenet.epsilon == 0.062
+    suite = build_attack_suite(AttackSuiteConfig(dataset="cifar10", max_steps=20))
+    assert suite["pgd"].epsilon == cifar.epsilon
+    assert suite["pgd"].step_size == cifar.step_size
+    assert suite["cw"].confidence == cifar.cw_confidence
+    saga = build_saga(AttackSuiteConfig(dataset="imagenet"))
+    assert saga.alpha_cnn == imagenet.saga_alpha_cnn

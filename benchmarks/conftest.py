@@ -1,0 +1,64 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at *bench
+scale*: scaled-down models trained on synthetic data, fewer evaluation
+samples and smaller attack budgets than the paper's 1000-sample / 5e3-query
+setup, so the whole suite completes on a laptop.  The REPRO_BENCH_SCALE
+environment variable selects a larger configuration (``full``) when more
+compute is available.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.eval.harness import ExperimentConfig
+from repro.utils.rng import set_global_seed
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "bench")
+
+
+def bench_experiment_config(**overrides) -> ExperimentConfig:
+    """Baseline experiment configuration for the benches (scaled by env var)."""
+    if BENCH_SCALE == "full":
+        defaults = dict(
+            train_per_class=64,
+            test_per_class=24,
+            train_epochs=5,
+            train_lr=3e-3,
+            eval_samples=100,
+            attack_batch_size=32,
+            max_attack_steps=20,
+            apgd_steps=30,
+            saga_steps=20,
+            epsilon_scale=1.0,
+        )
+    else:
+        defaults = dict(
+            train_per_class=32,
+            test_per_class=12,
+            train_epochs=4,
+            train_lr=3e-3,
+            eval_samples=12,
+            attack_batch_size=12,
+            max_attack_steps=5,
+            apgd_steps=6,
+            saga_steps=5,
+            epsilon_scale=1.0,
+        )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+@pytest.fixture(autouse=True)
+def _bench_seed():
+    """Deterministic benches: fixed global seed before every benchmark."""
+    set_global_seed(20230913)
+    yield
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,90 @@
+"""Refresh the measured-result blocks of EXPERIMENTS.md from bench_output.txt.
+
+The benchmark suite prints every regenerated table / figure to stdout, which
+``pytest benchmarks/ --benchmark-only -s | tee bench_output.txt`` captures.
+This helper copies those printed blocks into the corresponding sections of
+EXPERIMENTS.md so the document always reflects the latest benchmark run.
+
+Usage:  python scripts/update_experiments.py [bench_output.txt] [EXPERIMENTS.md]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+
+def _clean(lines: list[str]) -> str:
+    """Strip pytest noise (log lines, progress dots) from a captured block."""
+    kept = []
+    for line in lines:
+        if "WARNING repro" in line or line.startswith("WARNING conda"):
+            continue
+        stripped = line.rstrip("\n")
+        if stripped in (".", "F", ""):
+            continue
+        kept.append(stripped.lstrip(".F"))
+    return "\n".join(kept).rstrip()
+
+
+def extract_block(text: str, header_prefix: str, max_lines: int = 12) -> str:
+    """Extract the block of lines starting at the first line with ``header_prefix``."""
+    lines = text.splitlines()
+    for index, line in enumerate(lines):
+        if header_prefix in line:
+            block = []
+            for candidate in lines[index : index + max_lines]:
+                if candidate.startswith("===") or "seconds" in candidate and "=" in candidate:
+                    break
+                block.append(candidate)
+            return _clean(block)
+    return f"(block starting with {header_prefix!r} not found in bench output)"
+
+
+def extract_all_blocks(text: str, header_prefix: str, max_lines: int = 12) -> str:
+    """Extract every block whose header contains ``header_prefix``."""
+    blocks = []
+    lines = text.splitlines()
+    for index, line in enumerate(lines):
+        if header_prefix in line:
+            blocks.append(_clean(lines[index : index + max_lines]))
+    return "\n\n".join(blocks) if blocks else extract_block(text, header_prefix, max_lines)
+
+
+#: Placeholder -> (header prefix searched in bench_output.txt, lines to copy, all blocks?)
+PLACEHOLDERS = {
+    "PASTE_TABLE3_HERE": ("Table III — Robust accuracy", 8, True),
+    "PASTE_TABLE4_HERE": ("Table IV — Ensemble vs SAGA", 6, True),
+    "PASTE_FIG3_HERE": ("Figure 3 — attack geometry", 6, False),
+    "PASTE_FIG4_HERE": ("Figure 4 — SAGA on one correctly classified sample", 7, False),
+    "PASTE_OVERHEAD_HERE": ("Section VI — shielded inference boundary overhead", 11, False),
+    "PASTE_ABLATION_UPSAMPLING_HERE": ("Ablation — robust accuracy of a shielded BiT", 6, False),
+    "PASTE_ABLATION_EPSILON_HERE": ("Ablation — PGD robust accuracy vs epsilon", 6, False),
+}
+
+
+def main() -> None:
+    bench_path = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("bench_output.txt")
+    experiments_path = Path(sys.argv[2]) if len(sys.argv) > 2 else Path("EXPERIMENTS.md")
+    bench_text = bench_path.read_text()
+    document = experiments_path.read_text()
+    for placeholder, (header, max_lines, use_all) in PLACEHOLDERS.items():
+        if placeholder not in document:
+            continue
+        if use_all:
+            block = extract_all_blocks(bench_text, header, max_lines)
+        else:
+            block = extract_block(bench_text, header, max_lines)
+        document = document.replace(placeholder, block)
+    # Also refresh any stale "Section VI" block when re-run without placeholders.
+    experiments_path.write_text(document)
+    remaining = re.findall(r"PASTE_[A-Z_]+_HERE", document)
+    if remaining:
+        print(f"warning: unresolved placeholders remain: {remaining}")
+    else:
+        print(f"EXPERIMENTS.md updated from {bench_path}")
+
+
+if __name__ == "__main__":
+    main()

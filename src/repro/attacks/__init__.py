@@ -1,0 +1,61 @@
+"""White-box evasion attacks and the PELTA-restricted attacker substitutes."""
+
+from repro.attacks.apgd import APGD
+from repro.attacks.base import Attack, AttackResult, project_linf
+from repro.attacks.bpda import (
+    UPSAMPLER_STRATEGIES,
+    AverageUpsampler,
+    RandomProjectionUpsampler,
+    TokenUnprojectionUpsampler,
+    TransposedConvUpsampler,
+    make_attacker_view,
+    make_upsampler,
+)
+from repro.attacks.configs import (
+    TABLE2_PARAMETERS,
+    AttackParameters,
+    AttackSuiteConfig,
+    build_attack_suite,
+    build_saga,
+    table2_parameters,
+)
+from repro.attacks.cw import CarliniWagner
+from repro.attacks.fgsm import FGSM
+from repro.attacks.mim import MIM
+from repro.attacks.patch import AdversarialPatchAttack
+from repro.attacks.pgd import PGD
+from repro.attacks.random_noise import RandomUniform
+from repro.attacks.saga import (
+    SelfAttentionGradientAttack,
+    attention_image_weights,
+    attention_rollout,
+)
+
+__all__ = [
+    "APGD",
+    "AdversarialPatchAttack",
+    "Attack",
+    "AttackParameters",
+    "AttackResult",
+    "AttackSuiteConfig",
+    "AverageUpsampler",
+    "CarliniWagner",
+    "FGSM",
+    "MIM",
+    "PGD",
+    "RandomProjectionUpsampler",
+    "RandomUniform",
+    "SelfAttentionGradientAttack",
+    "TABLE2_PARAMETERS",
+    "TokenUnprojectionUpsampler",
+    "TransposedConvUpsampler",
+    "UPSAMPLER_STRATEGIES",
+    "attention_image_weights",
+    "attention_rollout",
+    "build_attack_suite",
+    "build_saga",
+    "make_attacker_view",
+    "make_upsampler",
+    "project_linf",
+    "table2_parameters",
+]

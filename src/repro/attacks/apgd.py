@@ -1,0 +1,93 @@
+"""Auto Projected Gradient Descent (Croce & Hein, 2020).
+
+A faithful-in-spirit implementation of APGD: momentum updates, a halving
+step-size schedule driven by checkpoints, and restarts from the best point
+found so far.  The full AutoAttack machinery (multiple losses, targeted
+variants) is out of scope; the paper uses the cross-entropy variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, project_linf
+
+
+class APGD(Attack):
+    """Adaptive-step PGD with momentum and best-point restarts."""
+
+    name = "apgd"
+
+    def __init__(
+        self,
+        epsilon: float = 0.031,
+        steps: int = 50,
+        n_restarts: int = 1,
+        rho: float = 0.75,
+        momentum: float = 0.75,
+        clip_min: float = 0.0,
+        clip_max: float = 1.0,
+    ):
+        self.epsilon = epsilon
+        self.steps = steps
+        self.n_restarts = max(n_restarts, 1)
+        self.rho = rho
+        self.momentum = momentum
+        self.clip_min = clip_min
+        self.clip_max = clip_max
+
+    def _checkpoints(self) -> list[int]:
+        """Checkpoint iterations at which the step size may be halved."""
+        points = [0]
+        spacing = max(int(0.22 * self.steps), 1)
+        position = spacing
+        while position < self.steps:
+            points.append(position)
+            spacing = max(spacing - 1, max(int(0.06 * self.steps), 1))
+            position += spacing
+        return points
+
+    def craft(self, view, inputs: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        best_overall = np.array(inputs, copy=True)
+        best_overall_loss = np.full(len(labels), -np.inf)
+        for _ in range(self.n_restarts):
+            adversarials, losses = self._one_run(view, inputs, labels)
+            improved = losses > best_overall_loss
+            best_overall[improved] = adversarials[improved]
+            best_overall_loss[improved] = losses[improved]
+        return best_overall
+
+    def _one_run(self, view, inputs: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        step_size = 2.0 * self.epsilon
+        checkpoints = set(self._checkpoints())
+        current = np.array(inputs, copy=True)
+        best = np.array(inputs, copy=True)
+        best_loss = view.loss(current, labels, loss="ce")
+        previous = np.array(current, copy=True)
+        improvements = 0
+        since_checkpoint = 0
+        loss_at_checkpoint = best_loss.mean()
+        for iteration in range(self.steps):
+            gradient = self._gradient(view, current, labels, loss="ce")
+            step = step_size * np.sign(gradient)
+            momentum_term = self.momentum * (current - previous)
+            previous = np.array(current, copy=True)
+            current = project_linf(
+                current + step + momentum_term, inputs, self.epsilon, self.clip_min, self.clip_max
+            )
+            losses = view.loss(current, labels, loss="ce")
+            improved = losses > best_loss
+            best[improved] = current[improved]
+            best_loss[improved] = losses[improved]
+            improvements += int(improved.mean() > 0.5)
+            since_checkpoint += 1
+            if iteration in checkpoints and iteration > 0:
+                # Halve the step size when progress stalled since last checkpoint
+                # (condition 1 of APGD: too few improving iterations).
+                if improvements < self.rho * since_checkpoint or best_loss.mean() <= loss_at_checkpoint:
+                    step_size /= 2.0
+                    current = np.array(best, copy=True)
+                improvements = 0
+                since_checkpoint = 0
+                loss_at_checkpoint = best_loss.mean()
+        return best, best_loss

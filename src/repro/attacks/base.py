@@ -1,0 +1,90 @@
+"""Common attack machinery: results, projections and the attack base class."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class AttackResult:
+    """Outcome of running an attack over a batch of correctly classified samples."""
+
+    attack_name: str
+    originals: np.ndarray
+    adversarials: np.ndarray
+    labels: np.ndarray
+    #: Per-sample success *from the attacker's point of view* (the view used to
+    #: craft the examples misclassifies them).
+    success: np.ndarray
+    #: Number of gradient queries issued to the view while crafting.
+    gradient_queries: int = 0
+
+    @property
+    def perturbations(self) -> np.ndarray:
+        """Additive perturbation applied to each sample."""
+        return self.adversarials - self.originals
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of samples the attacker believes are misclassified."""
+        return float(np.mean(self.success)) if len(self.success) else 0.0
+
+    def linf_norms(self) -> np.ndarray:
+        """Per-sample l-infinity perturbation magnitude."""
+        flat = np.abs(self.perturbations).reshape(len(self.labels), -1)
+        return flat.max(axis=1)
+
+    def l2_norms(self) -> np.ndarray:
+        """Per-sample l2 perturbation magnitude."""
+        flat = self.perturbations.reshape(len(self.labels), -1)
+        return np.sqrt((flat**2).sum(axis=1))
+
+
+def project_linf(
+    candidates: np.ndarray, origin: np.ndarray, epsilon: float, clip_min: float = 0.0, clip_max: float = 1.0
+) -> np.ndarray:
+    """Project candidates into the l∞ ε-ball around ``origin`` and the pixel range.
+
+    This is the P operator of the paper's Fig. 3: out-of-bound values are
+    brought back to the surface of the allowable region.
+    """
+    clipped = np.clip(candidates, origin - epsilon, origin + epsilon)
+    return np.clip(clipped, clip_min, clip_max)
+
+
+class Attack:
+    """Base class for evasion attacks.
+
+    Sub-classes implement :meth:`craft`, which maps a batch of clean samples
+    to adversarial candidates using only the supplied gradient view (so the
+    same attack code runs in the white-box and the PELTA-restricted setting).
+    """
+
+    name = "attack"
+
+    def craft(self, view, inputs: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def run(self, view, inputs: np.ndarray, labels: np.ndarray) -> AttackResult:
+        """Craft adversarial examples and record the attacker-side success."""
+        inputs = np.asarray(inputs, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        self._queries = 0
+        adversarials = self.craft(view, inputs, labels)
+        predictions = view.predict(adversarials)
+        success = predictions != labels
+        return AttackResult(
+            attack_name=self.name,
+            originals=inputs,
+            adversarials=adversarials,
+            labels=labels,
+            success=success,
+            gradient_queries=getattr(self, "_queries", 0),
+        )
+
+    def _gradient(self, view, inputs, labels, **kwargs) -> np.ndarray:
+        """Query the view for a gradient, counting the query."""
+        self._queries = getattr(self, "_queries", 0) + 1
+        return view.gradient(inputs, labels, **kwargs)

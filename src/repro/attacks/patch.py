@@ -1,0 +1,64 @@
+"""Adversarial patch attack (the "altered traffic sign" scenario of the intro).
+
+The paper motivates PELTA with a compromised FL client that computes a
+malicious *sticker*: a localised patch that, once pasted on a physical object,
+makes the collaboratively trained model misclassify it.  Unlike the ε-bounded
+evasion attacks, the patch is unconstrained inside its region but touches
+nothing outside it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackResult
+from repro.data.transforms import apply_patch
+from repro.utils.rng import get_rng
+
+
+class AdversarialPatchAttack(Attack):
+    """Craft a square patch that maximises the defender's loss when pasted."""
+
+    name = "patch"
+
+    def __init__(
+        self,
+        patch_size: int = 8,
+        steps: int = 40,
+        step_size: float = 0.05,
+        row: int = 0,
+        col: int = 0,
+        rng: np.random.Generator | None = None,
+    ):
+        self.patch_size = patch_size
+        self.steps = steps
+        self.step_size = step_size
+        self.row = row
+        self.col = col
+        self._rng = rng if rng is not None else get_rng("attacks.patch")
+        #: The most recently crafted patch, shape (C, patch_size, patch_size).
+        self.last_patch: np.ndarray | None = None
+
+    def _mask(self, shape: tuple[int, ...]) -> np.ndarray:
+        mask = np.zeros(shape, dtype=np.float64)
+        mask[:, :, self.row : self.row + self.patch_size, self.col : self.col + self.patch_size] = 1.0
+        return mask
+
+    def craft(self, view, inputs: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        channels = inputs.shape[1]
+        patch = self._rng.uniform(0.0, 1.0, size=(channels, self.patch_size, self.patch_size))
+        mask = self._mask(inputs.shape)
+        for _ in range(self.steps):
+            patched = apply_patch(inputs, patch, self.row, self.col)
+            gradient = self._gradient(view, patched, labels, loss="ce")
+            patch_gradient = (gradient * mask)[
+                :, :, self.row : self.row + self.patch_size, self.col : self.col + self.patch_size
+            ].mean(axis=0)
+            patch = np.clip(patch + self.step_size * np.sign(patch_gradient), 0.0, 1.0)
+        self.last_patch = patch
+        return apply_patch(inputs, patch, self.row, self.col)
+
+    def run(self, view, inputs: np.ndarray, labels: np.ndarray) -> AttackResult:
+        result = super().run(view, inputs, labels)
+        return result

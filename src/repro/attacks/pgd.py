@@ -1,0 +1,49 @@
+"""Projected Gradient Descent (Madry et al., 2018)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, project_linf
+from repro.utils.rng import get_rng
+
+
+class PGD(Attack):
+    """Multi-step l∞ attack with projection back into the ε-ball.
+
+    The i-th step is ``x_i = P(x_{i-1} + ε_step · sign(∇_x L))`` where P
+    projects out-of-bound values back into the ε-ball (Fig. 3 of the paper).
+    """
+
+    name = "pgd"
+
+    def __init__(
+        self,
+        epsilon: float = 0.031,
+        step_size: float = 0.00155,
+        steps: int = 20,
+        random_start: bool = False,
+        clip_min: float = 0.0,
+        clip_max: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ):
+        self.epsilon = epsilon
+        self.step_size = step_size
+        self.steps = steps
+        self.random_start = random_start
+        self.clip_min = clip_min
+        self.clip_max = clip_max
+        self._rng = rng if rng is not None else get_rng("attacks.pgd")
+
+    def craft(self, view, inputs: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        adversarials = np.array(inputs, copy=True)
+        if self.random_start:
+            adversarials = adversarials + self._rng.uniform(
+                -self.epsilon, self.epsilon, size=adversarials.shape
+            )
+            adversarials = project_linf(adversarials, inputs, self.epsilon, self.clip_min, self.clip_max)
+        for _ in range(self.steps):
+            gradient = self._gradient(view, adversarials, labels, loss="ce")
+            adversarials = adversarials + self.step_size * np.sign(gradient)
+            adversarials = project_linf(adversarials, inputs, self.epsilon, self.clip_min, self.clip_max)
+        return adversarials

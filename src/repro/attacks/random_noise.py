@@ -1,0 +1,35 @@
+"""Random uniform perturbation baseline (the "Random" column of Table IV)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, project_linf
+from repro.utils.rng import get_rng
+
+
+class RandomUniform(Attack):
+    """Uniform noise on the surface of the l∞ ε-ball (no gradient information).
+
+    This is the paper's lower bound for an attacker: astuteness against it
+    measures how sensitive the defender is to arbitrary, non-adversarial
+    perturbations of the same magnitude.
+    """
+
+    name = "random"
+
+    def __init__(
+        self,
+        epsilon: float = 0.031,
+        clip_min: float = 0.0,
+        clip_max: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ):
+        self.epsilon = epsilon
+        self.clip_min = clip_min
+        self.clip_max = clip_max
+        self._rng = rng if rng is not None else get_rng("attacks.random")
+
+    def craft(self, view, inputs: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        noise = self._rng.uniform(-self.epsilon, self.epsilon, size=np.shape(inputs))
+        return project_linf(inputs + noise, inputs, self.epsilon, self.clip_min, self.clip_max)

@@ -1,0 +1,76 @@
+"""Reverse-mode automatic differentiation engine with an explicit graph.
+
+The engine is intentionally small but complete enough to express the models
+the PELTA paper evaluates (Vision Transformers, ResNet-v2 / BiT CNNs): dense
+and convolutional layers, attention, normalisation layers and the usual
+activations, all with exact gradients.  Every forward pass records a
+computational graph that :mod:`repro.core` (the PELTA shielding algorithm)
+can inspect and shield.
+"""
+
+from repro.autodiff.context import (
+    ShieldRegion,
+    active_shield_region,
+    is_grad_enabled,
+    no_grad,
+    shield_scope,
+)
+from repro.autodiff.conv import (
+    avg_pool2d,
+    col2im,
+    conv2d,
+    conv_transpose2d_numpy,
+    global_avg_pool2d,
+    im2col,
+    max_pool2d,
+)
+from repro.autodiff.functional import (
+    cross_entropy,
+    dropout,
+    gelu,
+    log_softmax,
+    margin_loss,
+    mse_loss,
+    nll_loss,
+    relu,
+    sigmoid,
+    softmax,
+)
+from repro.autodiff.graph import GraphNode, GraphSnapshot
+from repro.autodiff.numeric import numerical_gradient, relative_error
+from repro.autodiff.tensor import Tensor, as_tensor, concat, stack, topological_order, unbroadcast
+
+__all__ = [
+    "GraphNode",
+    "GraphSnapshot",
+    "ShieldRegion",
+    "Tensor",
+    "active_shield_region",
+    "as_tensor",
+    "avg_pool2d",
+    "col2im",
+    "concat",
+    "conv2d",
+    "conv_transpose2d_numpy",
+    "cross_entropy",
+    "dropout",
+    "gelu",
+    "global_avg_pool2d",
+    "im2col",
+    "is_grad_enabled",
+    "log_softmax",
+    "margin_loss",
+    "max_pool2d",
+    "mse_loss",
+    "nll_loss",
+    "no_grad",
+    "numerical_gradient",
+    "relative_error",
+    "relu",
+    "shield_scope",
+    "sigmoid",
+    "softmax",
+    "stack",
+    "topological_order",
+    "unbroadcast",
+]

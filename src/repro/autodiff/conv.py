@@ -1,0 +1,162 @@
+"""Differentiable convolution and pooling primitives (im2col based).
+
+Input layout is ``(N, C, H, W)`` throughout, weights are
+``(out_channels, in_channels, kh, kw)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+
+
+def _output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(
+    images: np.ndarray, kh: int, kw: int, stride: int, padding: int
+) -> tuple[np.ndarray, int, int]:
+    """Unfold image patches into a matrix of shape ``(N*out_h*out_w, C*kh*kw)``."""
+    n, c, h, w = images.shape
+    out_h = _output_size(h, kh, stride, padding)
+    out_w = _output_size(w, kw, stride, padding)
+    padded = np.pad(images, [(0, 0), (0, 0), (padding, padding), (padding, padding)])
+    col = np.empty((n, c, kh, kw, out_h, out_w), dtype=images.dtype)
+    for y in range(kh):
+        y_max = y + stride * out_h
+        for x in range(kw):
+            x_max = x + stride * out_w
+            col[:, :, y, x, :, :] = padded[:, :, y:y_max:stride, x:x_max:stride]
+    col = col.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+    return col, out_h, out_w
+
+
+def col2im(
+    col: np.ndarray,
+    image_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold a patch matrix back into images, accumulating overlapping entries."""
+    n, c, h, w = image_shape
+    out_h = _output_size(h, kh, stride, padding)
+    out_w = _output_size(w, kw, stride, padding)
+    col = col.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=col.dtype)
+    for y in range(kh):
+        y_max = y + stride * out_h
+        for x in range(kw):
+            x_max = x + stride * out_w
+            padded[:, :, y:y_max:stride, x:x_max:stride] += col[:, :, y, x, :, :]
+    if padding == 0:
+        return padded
+    return padded[:, :, padding : padding + h, padding : padding + w]
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D cross-correlation (the deep-learning convention for convolution)."""
+    n, c_in, h, w = x.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"input has {c_in} channels but weight expects {c_in_w}")
+    col, out_h, out_w = im2col(x.data, kh, kw, stride, padding)
+    weight_matrix = weight.data.reshape(c_out, -1)
+    out = col @ weight_matrix.T
+    if bias is not None:
+        out = out + bias.data.reshape(1, c_out)
+    data = out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        grad_matrix = grad.transpose(0, 2, 3, 1).reshape(-1, c_out)
+        if bias is not None:
+            bias._accumulate(grad_matrix.sum(axis=0).reshape(bias.shape))
+        weight._accumulate((grad_matrix.T @ col).reshape(weight.shape))
+        grad_col = grad_matrix @ weight_matrix
+        x._accumulate(col2im(grad_col, x.shape, kh, kw, stride, padding))
+
+    return Tensor._make(data, parents, "conv2d", backward_fn)
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling with square windows (no padding)."""
+    stride = stride if stride is not None else kernel
+    n, c, h, w = x.shape
+    col, out_h, out_w = im2col(x.data, kernel, kernel, stride, 0)
+    col = col.reshape(-1, c, kernel * kernel)
+    argmax = col.argmax(axis=2)
+    data = col.max(axis=2).reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        grad_flat = grad.transpose(0, 2, 3, 1).reshape(-1, c)
+        grad_col = np.zeros((grad_flat.shape[0], c, kernel * kernel), dtype=grad.dtype)
+        rows = np.arange(grad_flat.shape[0])[:, None]
+        cols = np.arange(c)[None, :]
+        grad_col[rows, cols, argmax] = grad_flat
+        grad_col = grad_col.reshape(grad_flat.shape[0], c * kernel * kernel)
+        x._accumulate(col2im(grad_col, x.shape, kernel, kernel, stride, 0))
+
+    return Tensor._make(data, (x,), "max_pool2d", backward_fn)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Average pooling with square windows (no padding)."""
+    stride = stride if stride is not None else kernel
+    n, c, h, w = x.shape
+    col, out_h, out_w = im2col(x.data, kernel, kernel, stride, 0)
+    col = col.reshape(-1, c, kernel * kernel)
+    data = col.mean(axis=2).reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        grad_flat = grad.transpose(0, 2, 3, 1).reshape(-1, c)
+        grad_col = np.repeat(grad_flat[:, :, None], kernel * kernel, axis=2) / (kernel * kernel)
+        grad_col = grad_col.reshape(grad_flat.shape[0], c * kernel * kernel)
+        x._accumulate(col2im(grad_col, x.shape, kernel, kernel, stride, 0))
+
+    return Tensor._make(data, (x,), "avg_pool2d", backward_fn)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Global average pooling over the spatial dimensions, returns ``(N, C)``."""
+    return x.mean(axis=(2, 3))
+
+
+def conv_transpose2d_numpy(
+    grad_like: np.ndarray,
+    kernel: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+    output_size: tuple[int, int] | None = None,
+) -> np.ndarray:
+    """Plain NumPy transposed convolution (no gradient tracking).
+
+    This is the geometric "upsampling" operation the PELTA paper describes the
+    attacker using on the adjoint of the shallowest clear layer (§V-B): the
+    backward-pass geometry of a convolution applied as a forward operation.
+
+    ``grad_like`` has shape ``(N, C_out, H', W')`` and ``kernel`` has shape
+    ``(C_out, C_in, kh, kw)``; the result has shape ``(N, C_in, H, W)``.
+    """
+    n, c_out, out_h, out_w = grad_like.shape
+    c_out_k, c_in, kh, kw = kernel.shape
+    if c_out != c_out_k:
+        raise ValueError(f"adjoint has {c_out} channels but kernel expects {c_out_k}")
+    if output_size is None:
+        h = (out_h - 1) * stride + kh - 2 * padding
+        w = (out_w - 1) * stride + kw - 2 * padding
+    else:
+        h, w = output_size
+    grad_matrix = grad_like.transpose(0, 2, 3, 1).reshape(-1, c_out)
+    weight_matrix = kernel.reshape(c_out, -1)
+    grad_col = grad_matrix @ weight_matrix
+    return col2im(grad_col, (n, c_in, h, w), kh, kw, stride, padding)

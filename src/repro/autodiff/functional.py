@@ -1,0 +1,168 @@
+"""Differentiable functions built on top of :class:`repro.autodiff.Tensor`.
+
+These cover the activation functions, normalised exponentials and losses used
+by the model zoo, plus a handful of helpers the attack suite relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+
+_SQRT_2_OVER_PI = float(np.sqrt(2.0 / np.pi))
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    data = np.maximum(x.data, 0.0)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        x._accumulate(grad * (x.data > 0.0))
+
+    return Tensor._make(data, (x,), "relu", backward_fn)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    data = 1.0 / (1.0 + np.exp(-x.data))
+
+    def backward_fn(grad: np.ndarray) -> None:
+        x._accumulate(grad * data * (1.0 - data))
+
+    return Tensor._make(data, (x,), "sigmoid", backward_fn)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation, as used by ViT)."""
+    u = _SQRT_2_OVER_PI * (x.data + 0.044715 * x.data**3)
+    t = np.tanh(u)
+    data = 0.5 * x.data * (1.0 + t)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        du_dx = _SQRT_2_OVER_PI * (1.0 + 3.0 * 0.044715 * x.data**2)
+        dt_dx = (1.0 - t**2) * du_dx
+        local = 0.5 * (1.0 + t) + 0.5 * x.data * dt_dx
+        x._accumulate(grad * local)
+
+    return Tensor._make(data, (x,), "gelu", backward_fn)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    data = exps / exps.sum(axis=axis, keepdims=True)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        dot = (grad * data).sum(axis=axis, keepdims=True)
+        x._accumulate(data * (grad - dot))
+
+    return Tensor._make(data, (x,), "softmax", backward_fn)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    data = shifted - log_norm
+    probs = np.exp(data)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        x._accumulate(grad - probs * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(data, (x,), "log_softmax", backward_fn)
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Negative log-likelihood of integer ``targets`` under ``log_probs``.
+
+    ``log_probs`` has shape ``(batch, classes)``; ``targets`` is an integer
+    array of shape ``(batch,)``.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    batch = log_probs.shape[0]
+    picked = log_probs.data[np.arange(batch), targets]
+    if reduction == "mean":
+        value = -picked.mean()
+        scale = 1.0 / batch
+    elif reduction == "sum":
+        value = -picked.sum()
+        scale = 1.0
+    elif reduction == "none":
+        value = -picked
+        scale = None
+    else:
+        raise ValueError(f"unknown reduction {reduction!r}")
+
+    def backward_fn(grad: np.ndarray) -> None:
+        full = np.zeros_like(log_probs.data)
+        if scale is None:
+            full[np.arange(batch), targets] = -np.asarray(grad).reshape(batch)
+        else:
+            full[np.arange(batch), targets] = -float(np.asarray(grad).reshape(-1)[0]) * scale
+        log_probs._accumulate(full)
+
+    return Tensor._make(np.asarray(value), (log_probs,), "nll_loss", backward_fn)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Softmax cross-entropy between ``logits`` and integer ``targets``."""
+    return nll_loss(log_softmax(logits, axis=-1), targets, reduction=reduction)
+
+
+def margin_loss(logits: Tensor, targets: np.ndarray, confidence: float = 0.0) -> Tensor:
+    """Carlini & Wagner style margin objective, summed over the batch.
+
+    For each sample the objective is ``max(max_{i != y} Z_i - Z_y, -confidence)``;
+    maximising it pushes the sample over the decision boundary with at least
+    ``confidence`` margin.  Returns the *sum* over the batch so the gradient
+    with respect to each sample is independent of the others.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    batch, _ = logits.shape
+    rows = np.arange(batch)
+    target_logits = logits.data[rows, targets]
+    masked = logits.data.copy()
+    masked[rows, targets] = -np.inf
+    best_other = masked.argmax(axis=1)
+    other_logits = logits.data[rows, best_other]
+    per_sample = other_logits - target_logits
+    active = per_sample > -confidence
+    value = np.where(active, per_sample, -confidence).sum()
+
+    def backward_fn(grad: np.ndarray) -> None:
+        g = float(np.asarray(grad).reshape(-1)[0])
+        full = np.zeros_like(logits.data)
+        full[rows[active], best_other[active]] += g
+        full[rows[active], targets[active]] -= g
+        logits._accumulate(full)
+
+    return Tensor._make(np.asarray(value), (logits,), "margin_loss", backward_fn)
+
+
+def mse_loss(prediction: Tensor, target: np.ndarray | Tensor, reduction: str = "mean") -> Tensor:
+    """Mean squared error loss."""
+    target_tensor = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target_tensor
+    squared = diff * diff
+    if reduction == "mean":
+        return squared.mean()
+    if reduction == "sum":
+        return squared.sum()
+    if reduction == "none":
+        return squared
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout; identity when not training or ``rate == 0``."""
+    if not training or rate <= 0.0:
+        return x
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep).astype(x.dtype) / keep
+
+    def backward_fn(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor._make(x.data * mask, (x,), "dropout", backward_fn)

@@ -1,0 +1,37 @@
+"""Numerical differentiation helpers used by the gradient-check tests."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def numerical_gradient(
+    func: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-5
+) -> np.ndarray:
+    """Central-difference estimate of ``d func / d x``.
+
+    ``func`` must map an array of the same shape as ``x`` to a scalar.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = func(x)
+        flat[i] = original - eps
+        minus = func(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def relative_error(a: np.ndarray, b: np.ndarray) -> float:
+    """Maximum elementwise relative error between two arrays."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    denom = np.maximum(np.abs(a) + np.abs(b), 1e-8)
+    return float(np.max(np.abs(a - b) / denom))

@@ -1,0 +1,504 @@
+"""A small reverse-mode automatic differentiation engine on top of NumPy.
+
+The engine records an explicit computational graph: every operation creates a
+new :class:`Tensor` whose ``parents`` point to its operands and whose
+``backward_fn`` knows how to push an upstream gradient to those parents.  The
+graph is the object PELTA's shielding algorithm (Alg. 1 in the paper) reasons
+about, so tensors also carry the metadata that algorithm needs: a stable node
+id, the name of the operation that produced them, whether they are model
+inputs or parameters, and whether they were produced inside a shielded (TEE)
+region.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.autodiff.context import active_shield_region, is_grad_enabled
+
+DEFAULT_DTYPE = np.float64
+
+_NODE_COUNTER = itertools.count()
+
+ArrayLike = "np.ndarray | float | int | list | tuple | Tensor"
+
+
+def _as_array(value, dtype=DEFAULT_DTYPE) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=dtype)
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` (result of a broadcast op) back to ``shape``."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading broadcast dimensions.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were expanded from size 1.
+    for axis, (gdim, sdim) in enumerate(zip(grad.shape, shape)):
+        if sdim == 1 and gdim != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy-backed value participating in the computational graph.
+
+    Parameters
+    ----------
+    data:
+        The numeric payload (converted to ``float64`` by default).
+    requires_grad:
+        Whether gradients should be accumulated into ``self.grad`` during
+        :meth:`backward`.
+    parents:
+        The operand tensors this node was computed from (empty for leaves).
+    op:
+        Human-readable name of the producing operation (``"leaf"`` for
+        leaves); used by the graph inspection utilities and PELTA.
+    name:
+        Optional semantic name (e.g. ``"patch_embedding.weight"``).
+    is_input:
+        Marks the tensor as a *model input* leaf — the quantity an evasion
+        attacker treats as trainable (Alg. 1 distinguishes input leaves from
+        parameter leaves).
+    is_parameter:
+        Marks the tensor as a trainable model parameter leaf.
+    """
+
+    __array_priority__ = 1000  # ensure ndarray.__mul__ defers to Tensor.__rmul__
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        parents: Sequence["Tensor"] = (),
+        op: str = "leaf",
+        name: str | None = None,
+        is_input: bool = False,
+        is_parameter: bool = False,
+    ) -> None:
+        self.data = _as_array(data)
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self.grad: np.ndarray | None = None
+        self.parents: tuple[Tensor, ...] = tuple(parents)
+        self.op = op
+        self.name = name
+        self.is_input = is_input
+        self.is_parameter = is_parameter
+        self.node_id = next(_NODE_COUNTER)
+        self.backward_fn: Callable[[np.ndarray], None] | None = None
+        region = active_shield_region()
+        self.shielded = region is not None
+        if region is not None:
+            region.register(self)
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        shield_flag = ", shielded=True" if self.shielded else ""
+        return f"Tensor(shape={self.shape}, op={self.op!r}{grad_flag}{shield_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new leaf tensor sharing this tensor's data."""
+        out = Tensor(self.data, requires_grad=False, op="detach")
+        out.shielded = self.shielded
+        return out
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # Graph construction helper
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        op: str,
+        backward_fn: Callable[[np.ndarray], None] | None,
+    ) -> "Tensor":
+        """Create an op-output tensor, wiring gradients only when needed."""
+        requires_grad = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires_grad, parents=parents, op=op)
+        if requires_grad:
+            out.backward_fn = backward_fn
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Accumulate an incoming gradient contribution on this tensor."""
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------ #
+    # Backward pass
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: np.ndarray | float | None = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        ``grad`` defaults to ones, which is the usual convention for scalar
+        losses; a custom upstream gradient can be supplied for
+        vector-Jacobian products.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            seed = np.ones_like(self.data)
+        else:
+            seed = np.broadcast_to(_as_array(grad), self.data.shape).astype(self.data.dtype)
+        order = topological_order(self)
+        self._accumulate(seed)
+        for node in reversed(order):
+            if node.backward_fn is None or node.grad is None:
+                continue
+            node.backward_fn(node.grad)
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic operations
+    # ------------------------------------------------------------------ #
+    def __add__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data + other.data
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(unbroadcast(grad, self.shape))
+            other._accumulate(unbroadcast(grad, other.shape))
+
+        return Tensor._make(data, (self, other), "add", backward_fn)
+
+    def __radd__(self, other) -> "Tensor":
+        return self.__add__(other)
+
+    def __sub__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data - other.data
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(unbroadcast(grad, self.shape))
+            other._accumulate(unbroadcast(-grad, other.shape))
+
+        return Tensor._make(data, (self, other), "sub", backward_fn)
+
+    def __rsub__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        return other.__sub__(self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data * other.data
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(unbroadcast(grad * other.data, self.shape))
+            other._accumulate(unbroadcast(grad * self.data, other.shape))
+
+        return Tensor._make(data, (self, other), "mul", backward_fn)
+
+    def __rmul__(self, other) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data / other.data
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(unbroadcast(grad / other.data, self.shape))
+            other._accumulate(
+                unbroadcast(-grad * self.data / (other.data**2), other.shape)
+            )
+
+        return Tensor._make(data, (self, other), "div", backward_fn)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        return other.__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        data = -self.data
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return Tensor._make(data, (self,), "neg", backward_fn)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use a Python scalar")
+        power = float(exponent)
+        data = self.data**power
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(grad * power * self.data ** (power - 1.0))
+
+        return Tensor._make(data, (self,), "pow", backward_fn)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        if self.ndim < 2 or other.ndim < 2:
+            raise ValueError("matmul requires operands with at least 2 dimensions")
+        data = np.matmul(self.data, other.data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            grad_self = np.matmul(grad, np.swapaxes(other.data, -1, -2))
+            grad_other = np.matmul(np.swapaxes(self.data, -1, -2), grad)
+            self._accumulate(unbroadcast(grad_self, self.shape))
+            other._accumulate(unbroadcast(grad_other, other.shape))
+
+        return Tensor._make(data, (self, other), "matmul", backward_fn)
+
+    # ------------------------------------------------------------------ #
+    # Elementwise unary operations
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(grad * data)
+
+        return Tensor._make(data, (self,), "exp", backward_fn)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        return Tensor._make(data, (self,), "log", backward_fn)
+
+    def sqrt(self) -> "Tensor":
+        data = np.sqrt(self.data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(grad * 0.5 / np.maximum(data, 1e-12))
+
+        return Tensor._make(data, (self,), "sqrt", backward_fn)
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - data**2))
+
+        return Tensor._make(data, (self,), "tanh", backward_fn)
+
+    def abs(self) -> "Tensor":
+        data = np.abs(self.data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(grad * np.sign(self.data))
+
+        return Tensor._make(data, (self,), "abs", backward_fn)
+
+    def maximum(self, threshold: float) -> "Tensor":
+        """Elementwise maximum with a scalar (used to build ReLU)."""
+        value = float(threshold)
+        data = np.maximum(self.data, value)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(grad * (self.data > value))
+
+        return Tensor._make(data, (self,), "maximum", backward_fn)
+
+    def minimum(self, threshold: float) -> "Tensor":
+        """Elementwise minimum with a scalar."""
+        value = float(threshold)
+        data = np.minimum(self.data, value)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(grad * (self.data < value))
+
+        return Tensor._make(data, (self,), "minimum", backward_fn)
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            expanded = grad
+            if axis is not None and not keepdims:
+                expanded = np.expand_dims(grad, axis)
+            self._accumulate(np.broadcast_to(expanded, self.shape).copy())
+
+        return Tensor._make(data, (self,), "sum", backward_fn)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.mean(axis=axis, keepdims=keepdims)
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+
+        def backward_fn(grad: np.ndarray) -> None:
+            expanded = grad
+            if axis is not None and not keepdims:
+                expanded = np.expand_dims(grad, axis)
+            self._accumulate(np.broadcast_to(expanded, self.shape).copy() / count)
+
+        return Tensor._make(data, (self,), "mean", backward_fn)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            expanded_grad = grad
+            expanded_data = data
+            if axis is not None and not keepdims:
+                expanded_grad = np.expand_dims(grad, axis)
+                expanded_data = np.expand_dims(data, axis)
+            mask = (self.data == expanded_data).astype(self.data.dtype)
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self._accumulate(mask * expanded_grad / counts)
+
+        return Tensor._make(data, (self,), "max", backward_fn)
+
+    # ------------------------------------------------------------------ #
+    # Shape operations
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(self.shape))
+
+        return Tensor._make(data, (self,), "reshape", backward_fn)
+
+    def transpose(self, axes: Sequence[int]) -> "Tensor":
+        axes = tuple(axes)
+        data = self.data.transpose(axes)
+        inverse = tuple(np.argsort(axes))
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(grad.transpose(inverse))
+
+        return Tensor._make(data, (self,), "transpose", backward_fn)
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(axes)
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+
+        def backward_fn(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        return Tensor._make(data, (self,), "getitem", backward_fn)
+
+    def pad(self, pad_width: Sequence[tuple[int, int]]) -> "Tensor":
+        """Zero-pad the tensor; ``pad_width`` follows :func:`numpy.pad`."""
+        pad_width = tuple((int(a), int(b)) for a, b in pad_width)
+        data = np.pad(self.data, pad_width)
+        slices = tuple(
+            slice(before, before + dim) for (before, _), dim in zip(pad_width, self.shape)
+        )
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(grad[slices])
+
+        return Tensor._make(data, (self,), "pad", backward_fn)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(int(start), int(stop))
+            tensor._accumulate(grad[tuple(slicer)])
+
+    return Tensor._make(data, tuple(tensors), "concat", backward_fn)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient support."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        pieces = np.split(grad, len(tensors), axis=axis)
+        for tensor, piece in zip(tensors, pieces):
+            tensor._accumulate(np.squeeze(piece, axis=axis))
+
+    return Tensor._make(data, tuple(tensors), "stack", backward_fn)
+
+
+def topological_order(root: Tensor) -> list[Tensor]:
+    """Return the ancestors of ``root`` (including it) in topological order."""
+    order: list[Tensor] = []
+    visited: set[int] = set()
+    stack: list[tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if node.node_id in visited:
+            continue
+        visited.add(node.node_id)
+        stack.append((node, True))
+        for parent in node.parents:
+            if parent.node_id not in visited:
+                stack.append((parent, False))
+    return order
+
+
+def as_tensor(value, requires_grad: bool = False) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy if already one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)

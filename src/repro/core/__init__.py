@@ -1,0 +1,49 @@
+"""PELTA core: shielding algorithm, shielded models, attacker views, memory cost."""
+
+from repro.core.memory_cost import (
+    ShieldMemoryEstimate,
+    estimate_paper_model,
+    format_bytes,
+    measure_shielded_model,
+    paper_table1,
+)
+from repro.core.selection import (
+    select_by_memory_budget,
+    select_first_transforms,
+    select_shield_tagged,
+)
+from repro.core.shielded_model import ShieldedModel
+from repro.core.shielding import (
+    PeltaShieldReport,
+    chain_rule_is_broken,
+    clear_adjoint_candidates,
+    input_connected_ids,
+    pelta_shield,
+)
+from repro.core.views import (
+    FullWhiteBoxView,
+    GradientView,
+    RestrictedWhiteBoxView,
+    make_view,
+)
+
+__all__ = [
+    "FullWhiteBoxView",
+    "GradientView",
+    "PeltaShieldReport",
+    "RestrictedWhiteBoxView",
+    "ShieldMemoryEstimate",
+    "ShieldedModel",
+    "chain_rule_is_broken",
+    "clear_adjoint_candidates",
+    "estimate_paper_model",
+    "format_bytes",
+    "input_connected_ids",
+    "make_view",
+    "measure_shielded_model",
+    "paper_table1",
+    "pelta_shield",
+    "select_by_memory_budget",
+    "select_first_transforms",
+    "select_shield_tagged",
+]

@@ -1,0 +1,67 @@
+"""Select strategies for PELTA's Alg. 1 (which nodes form the shield frontier).
+
+The paper leaves the selection step to the defender ("the defender chooses
+how far the model should be shielded"); in practice it selects the first
+couple of transforms after the input.  These helpers implement the common
+strategies used by the evaluation and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.autodiff.graph import GraphNode, GraphSnapshot
+
+
+def select_first_transforms(graph: GraphSnapshot, depth: int = 2) -> list[GraphNode]:
+    """Select every transform within ``depth`` hops of an input leaf.
+
+    ``depth`` counts transform generations: ``depth=1`` selects only the
+    immediate children of the input, ``depth=2`` also their children, and so
+    on.  The returned nodes all come after the input leaves, as Alg. 1's
+    Select step requires.
+    """
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    depths = graph.depth_from_inputs()
+    return [
+        node
+        for node in graph.transforms()
+        if node.node_id in depths and 1 <= depths[node.node_id] <= depth
+    ]
+
+
+def select_shield_tagged(graph: GraphSnapshot) -> list[GraphNode]:
+    """Select every transform node created inside a shield scope.
+
+    This is the selection the production path uses: the model's stem runs
+    inside ``enclave.shield_scope`` so its transforms are already tagged.
+    """
+    return [node for node in graph.transforms() if node.shielded]
+
+
+def select_by_memory_budget(graph: GraphSnapshot, budget_bytes: int) -> list[GraphNode]:
+    """Select the deepest prefix of transforms that fits in ``budget_bytes``.
+
+    Starting from depth 1 and increasing, transforms are added generation by
+    generation (value + one gradient copy each, the worst-case accounting of
+    Table I) until adding the next generation would exceed the budget.
+    """
+    depths = graph.depth_from_inputs()
+    transform_depths = sorted(
+        {depths[node.node_id] for node in graph.transforms() if node.node_id in depths}
+    )
+    selected: list[GraphNode] = []
+    used = 0
+    for depth in transform_depths:
+        generation = [
+            node
+            for node in graph.transforms()
+            if depths.get(node.node_id) == depth
+        ]
+        generation_bytes = sum(2 * node.nbytes for node in generation)
+        if selected and used + generation_bytes > budget_bytes:
+            break
+        if not selected and generation_bytes > budget_bytes:
+            break
+        selected.extend(generation)
+        used += generation_bytes
+    return selected

@@ -1,0 +1,41 @@
+"""Data substrate: synthetic benchmark datasets, loaders, transforms, splits."""
+
+from repro.data.batching import DataLoader
+from repro.data.splits import dirichlet_partition, iid_partition, train_validation_split
+from repro.data.synthetic import (
+    DATASET_FACTORIES,
+    SyntheticImageConfig,
+    SyntheticImageDataset,
+    make_cifar10_like,
+    make_cifar100_like,
+    make_dataset,
+    make_imagenet_like,
+)
+from repro.data.transforms import (
+    apply_patch,
+    clip_to_unit,
+    denormalize,
+    l2_distance,
+    linf_distance,
+    normalize,
+)
+
+__all__ = [
+    "DATASET_FACTORIES",
+    "DataLoader",
+    "SyntheticImageConfig",
+    "SyntheticImageDataset",
+    "apply_patch",
+    "clip_to_unit",
+    "denormalize",
+    "dirichlet_partition",
+    "iid_partition",
+    "l2_distance",
+    "linf_distance",
+    "make_cifar10_like",
+    "make_cifar100_like",
+    "make_dataset",
+    "make_imagenet_like",
+    "normalize",
+    "train_validation_split",
+]

@@ -1,0 +1,47 @@
+"""Mini-batch iteration over in-memory datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.utils.rng import get_rng
+
+
+class DataLoader:
+    """Iterate ``(images, labels)`` mini-batches, optionally shuffled per epoch."""
+
+    def __init__(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        rng: np.random.Generator | None = None,
+        drop_last: bool = False,
+    ):
+        if len(images) != len(labels):
+            raise ValueError("images and labels must have the same length")
+        self.images = np.asarray(images)
+        self.labels = np.asarray(labels)
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = rng if rng is not None else get_rng("dataloader")
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.labels), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.labels))
+        if self.shuffle:
+            order = self._rng.permutation(order)
+        for start in range(0, len(order), self.batch_size):
+            batch = order[start : start + self.batch_size]
+            if self.drop_last and len(batch) < self.batch_size:
+                return
+            yield self.images[batch], self.labels[batch]

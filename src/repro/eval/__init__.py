@@ -1,0 +1,60 @@
+"""Evaluation harness: metrics, experiment runners and table formatting."""
+
+from repro.eval.astuteness import (
+    AstutenessResult,
+    attack_success_rate,
+    evaluate_attack,
+    robust_accuracy,
+    select_correctly_classified,
+)
+from repro.eval.geometry import (
+    AttackTrajectory,
+    GeometryStudy,
+    make_toy_problem,
+    run_geometry_study,
+    train_toy_classifier,
+)
+from repro.eval.harness import (
+    SHIELD_SETTINGS,
+    EnsembleBenchmarkResult,
+    ExperimentConfig,
+    IndividualModelResult,
+    SagaSampleStudy,
+    evaluate_individual_model,
+    prepare_dataset,
+    run_attack_in_batches,
+    run_ensemble_benchmark,
+    run_individual_benchmark,
+    saga_sample_study,
+    train_defender,
+)
+from repro.eval.tables import format_table1, format_table2, format_table3, format_table4
+
+__all__ = [
+    "AstutenessResult",
+    "AttackTrajectory",
+    "EnsembleBenchmarkResult",
+    "ExperimentConfig",
+    "GeometryStudy",
+    "IndividualModelResult",
+    "SHIELD_SETTINGS",
+    "SagaSampleStudy",
+    "attack_success_rate",
+    "evaluate_attack",
+    "evaluate_individual_model",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "format_table4",
+    "make_toy_problem",
+    "prepare_dataset",
+    "robust_accuracy",
+    "run_attack_in_batches",
+    "run_ensemble_benchmark",
+    "run_geometry_study",
+    "run_individual_benchmark",
+    "saga_sample_study",
+    "select_correctly_classified",
+    "train_defender",
+    "train_toy_classifier",
+]

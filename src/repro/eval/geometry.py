@@ -1,0 +1,130 @@
+"""Attack geometry study (Figure 3 of the paper).
+
+Fig. 3 is a schematic of three gradient-based maximum-allowable attacks
+(FGSM, PGD, MIM) operating inside an l∞ ε-ball around a sample, showing how
+the iterative methods follow an ascending loss path and how the projection
+operator P keeps candidates inside the ball.  This module reproduces the
+figure quantitatively on a two-dimensional toy classification problem: it
+traces the iterates of the three attacks, records whether each stays inside
+the ball and whether it ends up across the decision boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attacks.base import project_linf
+from repro.core.views import FullWhiteBoxView
+from repro.models.simple import MLPClassifier
+from repro.nn.trainer import fit_classifier
+from repro.utils.rng import spawn_rng
+
+
+@dataclass
+class AttackTrajectory:
+    """Iterates of one attack on the 2-D toy problem."""
+
+    attack_name: str
+    points: list[np.ndarray] = field(default_factory=list)
+    crossed_boundary: bool = False
+    max_linf: float = 0.0
+
+    @property
+    def start(self) -> np.ndarray:
+        return self.points[0]
+
+    @property
+    def end(self) -> np.ndarray:
+        return self.points[-1]
+
+
+@dataclass
+class GeometryStudy:
+    """Complete Fig. 3 reproduction: model, sample and the three trajectories."""
+
+    origin: np.ndarray
+    label: int
+    epsilon: float
+    trajectories: dict[str, AttackTrajectory] = field(default_factory=dict)
+
+
+def make_toy_problem(
+    num_samples: int = 200, margin: float = 0.6, seed_name: str = "geometry"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Two Gaussian blobs in 2-D, linearly separable with a modest margin."""
+    rng = spawn_rng(seed_name)
+    half = num_samples // 2
+    class0 = rng.normal(loc=(-margin, 0.0), scale=0.25, size=(half, 2))
+    class1 = rng.normal(loc=(margin, 0.0), scale=0.25, size=(half, 2))
+    points = np.concatenate([class0, class1], axis=0)
+    labels = np.concatenate([np.zeros(half, dtype=np.int64), np.ones(half, dtype=np.int64)])
+    order = rng.permutation(len(labels))
+    return points[order].reshape(-1, 1, 1, 2), labels[order]
+
+
+def train_toy_classifier(points: np.ndarray, labels: np.ndarray) -> MLPClassifier:
+    """Train the small MLP used as the victim of the geometry study."""
+    model = MLPClassifier(input_dim=2, num_classes=2, hidden_dim=16, input_shape=(1, 1, 2))
+    fit_classifier(model, points, labels, epochs=20, batch_size=32, lr=5e-3)
+    return model
+
+
+def _trace(
+    view: FullWhiteBoxView,
+    origin: np.ndarray,
+    label: np.ndarray,
+    epsilon: float,
+    step_size: float,
+    steps: int,
+    mode: str,
+) -> AttackTrajectory:
+    """Trace the iterates of one sign-based attack (fgsm / pgd / mim)."""
+    trajectory = AttackTrajectory(attack_name=mode, points=[origin.reshape(-1).copy()])
+    current = origin.copy()
+    velocity = np.zeros_like(current)
+    if mode == "fgsm":
+        gradient = view.gradient(current, label, loss="ce")
+        current = project_linf(current + epsilon * np.sign(gradient), origin, epsilon, -10.0, 10.0)
+        trajectory.points.append(current.reshape(-1).copy())
+    else:
+        for _ in range(steps):
+            gradient = view.gradient(current, label, loss="ce")
+            if mode == "mim":
+                norm = max(float(np.abs(gradient).sum()), 1e-12)
+                velocity = velocity + gradient / norm
+                direction = np.sign(velocity)
+            else:
+                direction = np.sign(gradient)
+            current = project_linf(current + step_size * direction, origin, epsilon, -10.0, 10.0)
+            trajectory.points.append(current.reshape(-1).copy())
+    trajectory.max_linf = float(
+        max(np.abs(point - trajectory.points[0]).max() for point in trajectory.points)
+    )
+    prediction = int(view.predict(current)[0])
+    trajectory.crossed_boundary = prediction != int(label[0])
+    return trajectory
+
+
+def run_geometry_study(
+    epsilon: float = 0.5, step_size: float = 0.08, steps: int = 12
+) -> GeometryStudy:
+    """Reproduce Fig. 3: FGSM / PGD / MIM trajectories inside the ε-ball."""
+    points, labels = make_toy_problem()
+    model = train_toy_classifier(points, labels)
+    view = FullWhiteBoxView(model)
+    predictions = model.predict(points)
+    correct = np.flatnonzero(predictions == labels)
+    if len(correct) == 0:
+        raise RuntimeError("the toy classifier failed to learn the problem")
+    # Pick a correctly classified sample reasonably close to the boundary so
+    # the ε-ball actually straddles it (like the schematic in the paper).
+    distances = np.abs(points[correct].reshape(len(correct), -1)[:, 0])
+    sample_index = correct[int(np.argsort(distances)[len(correct) // 4])]
+    origin = points[sample_index : sample_index + 1]
+    label = labels[sample_index : sample_index + 1]
+    study = GeometryStudy(origin=origin.reshape(-1).copy(), label=int(label[0]), epsilon=epsilon)
+    for mode in ("fgsm", "pgd", "mim"):
+        study.trajectories[mode] = _trace(view, origin, label, epsilon, step_size, steps, mode)
+    return study

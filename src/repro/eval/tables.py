@@ -1,0 +1,98 @@
+"""Plain-text formatting of the reproduced tables (Tables I, II, III, IV)."""
+
+from __future__ import annotations
+
+from repro.attacks.configs import TABLE2_PARAMETERS
+from repro.core.memory_cost import format_bytes, paper_table1
+from repro.eval.harness import EnsembleBenchmarkResult, IndividualModelResult
+
+
+def format_table1() -> str:
+    """Table I: estimated enclave memory cost per model, ours vs the paper."""
+    lines = [
+        "Table I — Estimated enclave memory cost and shielded model portion",
+        f"{'Model':<16}{'Shielded %':>12}{'Paper %':>12}{'Params only':>14}{'Worst case':>14}{'Paper':>12}",
+    ]
+    for row in paper_table1():
+        lines.append(
+            f"{row['model']:<16}"
+            f"{row['shielded_portion'] * 100:>11.3f}%"
+            f"{row['paper_shielded_portion'] * 100:>11.3f}%"
+            f"{format_bytes(row['parameters_only_bytes']):>14}"
+            f"{format_bytes(row['worst_case_bytes']):>14}"
+            f"{format_bytes(row['paper_tee_bytes']):>12}"
+        )
+    return "\n".join(lines)
+
+
+def format_table2() -> str:
+    """Table II: attack parameters per dataset."""
+    lines = ["Table II — Attack parameters"]
+    for name, params in TABLE2_PARAMETERS.items():
+        lines.append(f"[{name}]")
+        lines.append(f"  FGSM  eps={params.epsilon}")
+        lines.append(
+            f"  PGD   eps={params.epsilon}, eps_step={params.step_size}, steps={params.pgd_steps}"
+        )
+        lines.append(
+            f"  MIM   eps={params.epsilon}, eps_step={params.step_size}, mu={params.mim_decay}"
+        )
+        lines.append(
+            f"  APGD  eps={params.epsilon}, Nrestarts={params.apgd_restarts}, "
+            f"rho={params.apgd_rho}, queries={params.apgd_queries}"
+        )
+        lines.append(
+            f"  C&W   confidence={params.cw_confidence}, eps_step={params.step_size}, "
+            f"steps={params.cw_steps}"
+        )
+        lines.append(
+            f"  SAGA  alpha_cnn={params.saga_alpha_cnn}, eps_step={params.saga_step_size}"
+        )
+    return "\n".join(lines)
+
+
+def format_table3(results: list[IndividualModelResult]) -> str:
+    """Table III: robust accuracy of non-shielded vs shielded individual models."""
+    if not results:
+        return "Table III — no results"
+    attacks = list(results[0].robust.keys())
+    header = f"{'Model':<16}" + "".join(f"{attack.upper():>20}" for attack in attacks) + f"{'Clean':>9}"
+    sub = f"{'':<16}" + "".join(f"{'clear':>10}{'shield':>10}" for _ in attacks) + f"{'':>9}"
+    lines = [
+        f"Table III — Robust accuracy, dataset={results[0].dataset} "
+        f"({results[0].eval_samples} correctly classified samples)",
+        header,
+        sub,
+    ]
+    for result in results:
+        row = f"{result.model_name:<16}"
+        for attack in attacks:
+            values = result.robust.get(attack, {})
+            row += f"{values.get('unshielded', float('nan')) * 100:>9.1f}%"
+            row += f"{values.get('shielded', float('nan')) * 100:>9.1f}%"
+        row += f"{result.clean_accuracy * 100:>8.1f}%"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_table4(result: EnsembleBenchmarkResult) -> str:
+    """Table IV: robust accuracy of the shielded ensemble against SAGA."""
+    rows = ("vit", "cnn", "ensemble")
+    labels = {"vit": result.vit_name, "cnn": result.cnn_name, "ensemble": "Ensemble"}
+    lines = [
+        f"Table IV — Ensemble vs SAGA, dataset={result.dataset} "
+        f"({result.eval_samples} correctly classified samples)",
+        f"{'Model':<16}{'Clean':>9}{'Random':>9}"
+        f"{'None':>9}{'ViT only':>10}{'CNN only':>10}{'Both':>9}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{labels[row]:<16}"
+            f"{result.clean_accuracy.get(row, float('nan')) * 100:>8.1f}%"
+            f"{result.random_astuteness.get(row, float('nan')) * 100:>8.1f}%"
+            f"{result.robust.get('none', {}).get(row, float('nan')) * 100:>8.1f}%"
+            f"{result.robust.get('vit_only', {}).get(row, float('nan')) * 100:>9.1f}%"
+            f"{result.robust.get('cnn_only', {}).get(row, float('nan')) * 100:>9.1f}%"
+            f"{result.robust.get('both', {}).get(row, float('nan')) * 100:>8.1f}%"
+        )
+    return "\n".join(lines)

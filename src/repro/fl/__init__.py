@@ -1,0 +1,41 @@
+"""Federated learning substrate: server, clients, aggregation, poisoning."""
+
+from repro.fl.aggregation import (
+    AGGREGATION_RULES,
+    coordinate_median,
+    fedavg,
+    get_aggregation_rule,
+    trimmed_mean,
+)
+from repro.fl.client import ClientConfig, CompromisedClient, HonestClient
+from repro.fl.messages import GlobalModelBroadcast, ModelUpdate, RoundResult
+from repro.fl.poisoning import add_backdoor_trigger, flip_labels, poison_with_backdoor
+from repro.fl.rounds import (
+    FederatedRunConfig,
+    FederatedRunResult,
+    FederatedTrainer,
+    build_federation,
+)
+from repro.fl.server import FLServer
+
+__all__ = [
+    "AGGREGATION_RULES",
+    "ClientConfig",
+    "CompromisedClient",
+    "FLServer",
+    "FederatedRunConfig",
+    "FederatedRunResult",
+    "FederatedTrainer",
+    "GlobalModelBroadcast",
+    "HonestClient",
+    "ModelUpdate",
+    "RoundResult",
+    "add_backdoor_trigger",
+    "build_federation",
+    "coordinate_median",
+    "fedavg",
+    "flip_labels",
+    "get_aggregation_rule",
+    "poison_with_backdoor",
+    "trimmed_mean",
+]

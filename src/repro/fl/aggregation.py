@@ -1,0 +1,77 @@
+"""Aggregation rules for combining client updates into a global model."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.fl.messages import ModelUpdate
+
+AggregationRule = Callable[[Sequence[ModelUpdate]], dict[str, np.ndarray]]
+
+
+def _check_updates(updates: Sequence[ModelUpdate]) -> None:
+    if not updates:
+        raise ValueError("cannot aggregate an empty list of updates")
+    keys = set(updates[0].state)
+    for update in updates[1:]:
+        if set(update.state) != keys:
+            raise ValueError("client updates have mismatching parameter sets")
+
+
+def fedavg(updates: Sequence[ModelUpdate]) -> dict[str, np.ndarray]:
+    """Federated averaging: sample-count weighted mean of client parameters."""
+    _check_updates(updates)
+    total_samples = sum(max(update.num_samples, 0) for update in updates)
+    if total_samples == 0:
+        raise ValueError("fedavg requires at least one update with samples")
+    aggregated: dict[str, np.ndarray] = {}
+    for key in updates[0].state:
+        weighted = sum(
+            (update.num_samples / total_samples) * np.asarray(update.state[key])
+            for update in updates
+        )
+        aggregated[key] = np.asarray(weighted)
+    return aggregated
+
+
+def coordinate_median(updates: Sequence[ModelUpdate]) -> dict[str, np.ndarray]:
+    """Coordinate-wise median — a simple robust aggregation baseline."""
+    _check_updates(updates)
+    aggregated: dict[str, np.ndarray] = {}
+    for key in updates[0].state:
+        stacked = np.stack([np.asarray(update.state[key]) for update in updates], axis=0)
+        aggregated[key] = np.median(stacked, axis=0)
+    return aggregated
+
+
+def trimmed_mean(updates: Sequence[ModelUpdate], trim_fraction: float = 0.2) -> dict[str, np.ndarray]:
+    """Coordinate-wise trimmed mean, discarding the extreme ``trim_fraction``."""
+    _check_updates(updates)
+    if not 0.0 <= trim_fraction < 0.5:
+        raise ValueError("trim_fraction must be in [0, 0.5)")
+    num_updates = len(updates)
+    trim = int(np.floor(trim_fraction * num_updates))
+    aggregated: dict[str, np.ndarray] = {}
+    for key in updates[0].state:
+        stacked = np.sort(
+            np.stack([np.asarray(update.state[key]) for update in updates], axis=0), axis=0
+        )
+        kept = stacked[trim : num_updates - trim] if num_updates - 2 * trim > 0 else stacked
+        aggregated[key] = kept.mean(axis=0)
+    return aggregated
+
+
+AGGREGATION_RULES: dict[str, AggregationRule] = {
+    "fedavg": fedavg,
+    "median": coordinate_median,
+    "trimmed_mean": trimmed_mean,
+}
+
+
+def get_aggregation_rule(name: str) -> AggregationRule:
+    """Look up an aggregation rule by name."""
+    if name not in AGGREGATION_RULES:
+        raise KeyError(f"unknown aggregation rule {name!r}; available: {sorted(AGGREGATION_RULES)}")
+    return AGGREGATION_RULES[name]

@@ -1,0 +1,148 @@
+"""Federated learning clients: honest participants and compromised nodes.
+
+The threat model of the paper (§III) is an honest-but-curious client: it
+follows the protocol and message flow faithfully, but probes its own local
+copy of the model to craft adversarial examples.  :class:`HonestClient`
+implements the protocol-following behaviour; :class:`CompromisedClient` adds
+the probing (through a gradient view, full or PELTA-restricted) and optional
+dataset poisoning on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.bpda import make_attacker_view
+from repro.core.shielded_model import ShieldedModel
+from repro.data.batching import DataLoader
+from repro.fl.messages import GlobalModelBroadcast, ModelUpdate
+from repro.fl.poisoning import poison_with_backdoor
+from repro.models.base import ImageClassifier
+from repro.nn.optim import SGD
+from repro.nn.trainer import train_epoch
+from repro.tee.enclave import Enclave
+
+
+@dataclass
+class ClientConfig:
+    """Local training configuration shared by all clients."""
+
+    local_epochs: int = 1
+    batch_size: int = 16
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+
+
+class HonestClient:
+    """A protocol-following FL participant with a private local dataset."""
+
+    def __init__(
+        self,
+        client_id: str,
+        model_factory: Callable[[], ImageClassifier],
+        images: np.ndarray,
+        labels: np.ndarray,
+        config: ClientConfig | None = None,
+    ):
+        self.client_id = client_id
+        self.model = model_factory()
+        self.images = np.asarray(images)
+        self.labels = np.asarray(labels)
+        self.config = config if config is not None else ClientConfig()
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.labels)
+
+    def receive(self, broadcast: GlobalModelBroadcast) -> None:
+        """Install the broadcast global parameters into the local model."""
+        self.model.load_state_dict(broadcast.state)
+
+    def local_update(self, round_index: int) -> ModelUpdate:
+        """Train locally and return the resulting parameters."""
+        loader = DataLoader(
+            self.images, self.labels, batch_size=self.config.batch_size, shuffle=True
+        )
+        optimizer = SGD(
+            self.model.parameters(),
+            lr=self.config.learning_rate,
+            momentum=self.config.momentum,
+        )
+        loss = float("nan")
+        accuracy = float("nan")
+        for _ in range(self.config.local_epochs):
+            loss, accuracy = train_epoch(self.model, loader, optimizer)
+        self.model.eval()
+        return ModelUpdate(
+            client_id=self.client_id,
+            round_index=round_index,
+            num_samples=self.num_samples,
+            state=self.model.state_dict(),
+            train_loss=loss,
+            train_accuracy=accuracy,
+        )
+
+
+class CompromisedClient(HonestClient):
+    """An honest-but-curious client that probes its local model copy.
+
+    After receiving the broadcast model the client mounts a white-box evasion
+    attack against its own copy.  If the deployment shields the model with
+    PELTA (``enclave`` given), the client only gets the restricted view and
+    its attack degrades accordingly; otherwise it enjoys the full white-box
+    setting.  Optionally the client also backdoor-poisons its local dataset
+    before training, modelling the poisoning pipeline of the introduction.
+    """
+
+    def __init__(
+        self,
+        client_id: str,
+        model_factory: Callable[[], ImageClassifier],
+        images: np.ndarray,
+        labels: np.ndarray,
+        attack: Attack,
+        config: ClientConfig | None = None,
+        enclave: Enclave | None = None,
+        shield_model: bool = False,
+        poison_target: int | None = None,
+        poison_fraction: float = 0.0,
+        upsampling_strategy: str = "auto",
+    ):
+        super().__init__(client_id, model_factory, images, labels, config)
+        self.attack = attack
+        self.shield_model = shield_model
+        self.enclave = enclave
+        self.poison_target = poison_target
+        self.poison_fraction = poison_fraction
+        self.upsampling_strategy = upsampling_strategy
+        #: Result of the most recent probing attempt.
+        self.last_attack_result: AttackResult | None = None
+
+    def _attack_view(self):
+        if self.shield_model:
+            shielded = ShieldedModel(self.model, enclave=self.enclave)
+            return make_attacker_view(shielded, strategy=self.upsampling_strategy)
+        return make_attacker_view(self.model)
+
+    def probe_for_adversarial_examples(self, max_samples: int = 16) -> AttackResult:
+        """Craft adversarial examples against the local model copy."""
+        view = self._attack_view()
+        inputs = self.images[:max_samples]
+        labels = self.labels[:max_samples]
+        self.last_attack_result = self.attack.run(view, inputs, labels)
+        return self.last_attack_result
+
+    def local_update(self, round_index: int) -> ModelUpdate:
+        """Optionally poison the local dataset, then train like an honest client."""
+        if self.poison_target is not None and self.poison_fraction > 0.0:
+            self.images, self.labels = poison_with_backdoor(
+                self.images,
+                self.labels,
+                target_class=self.poison_target,
+                fraction=self.poison_fraction,
+            )
+        return super().local_update(round_index)

@@ -1,0 +1,96 @@
+"""Multi-round federated training orchestration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.splits import iid_partition
+from repro.fl.aggregation import AggregationRule, fedavg
+from repro.fl.client import ClientConfig, HonestClient
+from repro.fl.messages import RoundResult
+from repro.fl.server import FLServer
+from repro.models.base import ImageClassifier
+from repro.utils.rng import spawn_rng
+
+
+@dataclass
+class FederatedRunConfig:
+    """Configuration of a federated training run."""
+
+    num_rounds: int = 3
+    client_fraction: float = 1.0
+    client: ClientConfig = field(default_factory=ClientConfig)
+
+
+@dataclass
+class FederatedRunResult:
+    """History of a federated training run."""
+
+    rounds: list[RoundResult] = field(default_factory=list)
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.rounds[-1].global_accuracy if self.rounds else float("nan")
+
+    @property
+    def accuracies(self) -> list[float]:
+        return [entry.global_accuracy for entry in self.rounds]
+
+
+class FederatedTrainer:
+    """Drives a complete federated training run over a fixed client population."""
+
+    def __init__(
+        self,
+        server: FLServer,
+        clients: Sequence[HonestClient],
+        config: FederatedRunConfig | None = None,
+    ):
+        self.server = server
+        self.clients = list(clients)
+        self.config = config if config is not None else FederatedRunConfig()
+
+    def run(
+        self,
+        eval_images: np.ndarray | None = None,
+        eval_labels: np.ndarray | None = None,
+    ) -> FederatedRunResult:
+        """Run the configured number of rounds, evaluating after each."""
+        result = FederatedRunResult()
+        for _ in range(self.config.num_rounds):
+            round_result = self.server.run_round(
+                self.clients,
+                fraction=self.config.client_fraction,
+                eval_images=eval_images,
+                eval_labels=eval_labels,
+            )
+            result.rounds.append(round_result)
+        return result
+
+
+def build_federation(
+    model_factory: Callable[[], ImageClassifier],
+    images: np.ndarray,
+    labels: np.ndarray,
+    num_clients: int = 4,
+    aggregation_rule: AggregationRule = fedavg,
+    client_config: ClientConfig | None = None,
+) -> tuple[FLServer, list[HonestClient]]:
+    """Build a server plus an IID-partitioned population of honest clients."""
+    rng = spawn_rng("fl.federation")
+    partitions = iid_partition(labels, num_clients, rng=rng)
+    clients = [
+        HonestClient(
+            client_id=f"client{i}",
+            model_factory=model_factory,
+            images=images[part],
+            labels=labels[part],
+            config=client_config,
+        )
+        for i, part in enumerate(partitions)
+    ]
+    server = FLServer(model_factory(), aggregation_rule=aggregation_rule)
+    return server, clients

@@ -1,0 +1,88 @@
+"""The trusted federated learning server."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.fl.aggregation import AggregationRule, fedavg
+from repro.fl.client import HonestClient
+from repro.fl.messages import GlobalModelBroadcast, ModelUpdate, RoundResult
+from repro.models.base import ImageClassifier
+from repro.utils.rng import get_rng
+
+
+class FLServer:
+    """Aggregates client updates into a global model and broadcasts it back."""
+
+    def __init__(
+        self,
+        global_model: ImageClassifier,
+        aggregation_rule: AggregationRule = fedavg,
+        rng: np.random.Generator | None = None,
+    ):
+        self.global_model = global_model
+        self.aggregation_rule = aggregation_rule
+        self._rng = rng if rng is not None else get_rng("fl.server")
+        self.round_index = 0
+
+    # ------------------------------------------------------------------ #
+    # Protocol steps
+    # ------------------------------------------------------------------ #
+    def broadcast(self) -> GlobalModelBroadcast:
+        """Package the current global parameters for distribution."""
+        return GlobalModelBroadcast(
+            round_index=self.round_index, state=self.global_model.state_dict()
+        )
+
+    def sample_clients(
+        self, clients: Sequence[HonestClient], fraction: float = 1.0
+    ) -> list[HonestClient]:
+        """Select the subset of clients participating in this round."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        count = max(int(round(fraction * len(clients))), 1)
+        indices = self._rng.choice(len(clients), size=count, replace=False)
+        return [clients[index] for index in sorted(indices)]
+
+    def aggregate(self, updates: Sequence[ModelUpdate]) -> None:
+        """Aggregate client updates and install them as the new global model."""
+        aggregated = self.aggregation_rule(updates)
+        self.global_model.load_state_dict(aggregated)
+
+    # ------------------------------------------------------------------ #
+    # One full round
+    # ------------------------------------------------------------------ #
+    def run_round(
+        self,
+        clients: Sequence[HonestClient],
+        fraction: float = 1.0,
+        eval_images: np.ndarray | None = None,
+        eval_labels: np.ndarray | None = None,
+    ) -> RoundResult:
+        """Broadcast, collect local updates, aggregate and evaluate."""
+        participants = self.sample_clients(clients, fraction)
+        broadcast = self.broadcast()
+        updates: list[ModelUpdate] = []
+        for client in participants:
+            client.receive(broadcast.copy())
+            updates.append(client.local_update(self.round_index))
+        self.aggregate(updates)
+        accuracy = float("nan")
+        if eval_images is not None and eval_labels is not None:
+            accuracy = self.global_model.accuracy(eval_images, eval_labels)
+        result = RoundResult(
+            round_index=self.round_index,
+            participating_clients=[client.client_id for client in participants],
+            global_accuracy=accuracy,
+            mean_client_loss=float(np.nanmean([update.train_loss for update in updates])),
+            update_bytes=sum(update.nbytes for update in updates),
+            compromised_clients=[
+                client.client_id
+                for client in participants
+                if type(client).__name__ == "CompromisedClient"
+            ],
+        )
+        self.round_index += 1
+        return result

@@ -1,0 +1,101 @@
+"""Base class for the image classifiers evaluated in the paper.
+
+Every defender model exposes the same *stem / trunk* split: the stem is the
+set of shallowest transforms that the PELTA shield policy places inside the
+TEE enclave (§V-A of the paper), and the trunk is everything after it.  The
+plain ``forward`` composes both and never shields anything — shielding is
+applied by :class:`repro.core.shielded_model.ShieldedModel`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+from repro.nn.module import Module, Parameter
+
+
+class ImageClassifier(Module):
+    """Common interface of every defender model in the zoo.
+
+    Attributes
+    ----------
+    num_classes:
+        Number of output classes.
+    input_shape:
+        Expected input shape ``(channels, height, width)`` excluding batch.
+    family:
+        Architecture family (``"vit"``, ``"resnet"``, ``"bit"``, ...); the
+        shield policies and the BPDA upsampling attacker dispatch on it.
+    stem_description:
+        Human-readable description of the transforms included in the stem,
+        mirroring the paper's description of what is shielded.
+    """
+
+    family: str = "generic"
+    stem_description: str = ""
+
+    def __init__(self, num_classes: int, input_shape: tuple[int, int, int]):
+        super().__init__()
+        self.num_classes = num_classes
+        self.input_shape = tuple(input_shape)
+
+    # ------------------------------------------------------------------ #
+    # Stem / trunk split
+    # ------------------------------------------------------------------ #
+    def forward_stem(self, x: Tensor) -> Tensor:
+        """Run the shallowest transforms (the PELTA shield target)."""
+        raise NotImplementedError
+
+    def forward_trunk(self, hidden: Tensor) -> Tensor:
+        """Run the remaining transforms, producing logits."""
+        raise NotImplementedError
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.forward_trunk(self.forward_stem(x))
+
+    # ------------------------------------------------------------------ #
+    # Introspection used by PELTA and the attacks
+    # ------------------------------------------------------------------ #
+    def stem_modules(self) -> list[Module]:
+        """Modules whose parameters belong to the stem (override in subclasses)."""
+        raise NotImplementedError
+
+    def stem_parameters(self) -> list[Parameter]:
+        """Parameters of the stem — the quantities sealed inside the enclave."""
+        parameters: list[Parameter] = []
+        seen: set[int] = set()
+        for module in self.stem_modules():
+            for parameter in module.parameters():
+                if id(parameter) not in seen:
+                    seen.add(id(parameter))
+                    parameters.append(parameter)
+        return parameters
+
+    def attention_maps(self) -> list[np.ndarray]:
+        """Per-block attention maps of the last forward pass (ViT only)."""
+        return []
+
+    # ------------------------------------------------------------------ #
+    # Convenience prediction helpers (no gradient tracking)
+    # ------------------------------------------------------------------ #
+    def logits(self, inputs: np.ndarray) -> np.ndarray:
+        """Return logits for a numpy batch without recording gradients."""
+        from repro.autodiff.context import no_grad
+
+        with no_grad():
+            out = self.forward(Tensor(np.asarray(inputs)))
+        return out.data
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Return predicted class indices for a numpy batch."""
+        return self.logits(inputs).argmax(axis=1)
+
+    def accuracy(self, inputs: np.ndarray, labels: np.ndarray, batch_size: int = 64) -> float:
+        """Classification accuracy computed in batches."""
+        labels = np.asarray(labels)
+        correct = 0
+        for start in range(0, len(labels), batch_size):
+            stop = start + batch_size
+            correct += int((self.predict(inputs[start:stop]) == labels[start:stop]).sum())
+        return correct / max(len(labels), 1)

@@ -1,0 +1,127 @@
+"""Big Transfer (BiT) defender models (BiT-M-R101x3 / BiT-M-R152x4 style).
+
+BiT models are ResNet-v2 variants using weight-standardised convolutions and
+group normalisation.  The paper shields "the first weight-standardized
+convolution and its following padding operation" (§V-A); the stem here is the
+explicit zero padding followed by the first WSConv.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.autodiff import functional as F
+from repro.autodiff.conv import global_avg_pool2d
+from repro.autodiff.tensor import Tensor
+from repro.nn.layers import GroupNorm, Linear, WSConv2d, ZeroPad2d
+from repro.nn.module import Module
+from repro.models.base import ImageClassifier
+
+
+@dataclass(frozen=True)
+class BiTConfig:
+    """Hyper-parameters of a (scaled) Big Transfer model."""
+
+    in_channels: int
+    num_classes: int
+    stage_widths: tuple[int, ...] = (32, 64)
+    blocks_per_stage: int = 2
+    width_factor: int = 1
+    num_groups: int = 8
+    image_size: int = 32
+    stem_padding: int = 1
+    stem_kernel: int = 3
+
+
+class BiTBlock(Module):
+    """Pre-activation bottleneck-free BiT block: GN-ReLU-WSConv twice + identity."""
+
+    def __init__(self, in_channels: int, out_channels: int, num_groups: int, stride: int = 1):
+        super().__init__()
+        self.gn1 = GroupNorm(min(num_groups, in_channels), in_channels)
+        self.conv1 = WSConv2d(in_channels, out_channels, 3, stride=stride, padding=1)
+        self.gn2 = GroupNorm(min(num_groups, out_channels), out_channels)
+        self.conv2 = WSConv2d(out_channels, out_channels, 3, stride=1, padding=1)
+        self.downsample: WSConv2d | None = None
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = WSConv2d(in_channels, out_channels, 1, stride=stride, padding=0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        pre = F.relu(self.gn1(x))
+        shortcut = self.downsample(pre) if self.downsample is not None else x
+        out = self.conv1(pre)
+        out = self.conv2(F.relu(self.gn2(out)))
+        return out + shortcut
+
+
+class BiTModel(ImageClassifier):
+    """Scaled Big Transfer classifier with the paper's shielding stem."""
+
+    family = "bit"
+    stem_description = "first weight-standardized convolution and its preceding padding operation"
+
+    def __init__(self, config: BiTConfig):
+        super().__init__(config.num_classes, (config.in_channels, config.image_size, config.image_size))
+        self.config = config
+        widths = tuple(w * config.width_factor for w in config.stage_widths)
+        self.stem_pad = ZeroPad2d(config.stem_padding)
+        self.stem_conv = WSConv2d(
+            config.in_channels, widths[0], config.stem_kernel, stride=1, padding=0, bias=False
+        )
+        self.blocks: list[BiTBlock] = []
+        in_channels = widths[0]
+        block_index = 0
+        for stage, width in enumerate(widths):
+            for block in range(config.blocks_per_stage):
+                stride = 2 if (stage > 0 and block == 0) else 1
+                residual = BiTBlock(in_channels, width, config.num_groups, stride=stride)
+                setattr(self, f"block{block_index}", residual)
+                self.blocks.append(residual)
+                in_channels = width
+                block_index += 1
+        self.final_gn = GroupNorm(min(config.num_groups, in_channels), in_channels)
+        self.head = Linear(in_channels, config.num_classes)
+
+    def forward_stem(self, x: Tensor) -> Tensor:
+        # Centre the [0, 1] pixel range before padding + the first WSConv; the
+        # rescaling belongs to the shielded stem.
+        centred = (x - 0.5) * 2.0
+        return self.stem_conv(self.stem_pad(centred))
+
+    def forward_trunk(self, hidden: Tensor) -> Tensor:
+        for block in self.blocks:
+            hidden = block(hidden)
+        hidden = F.relu(self.final_gn(hidden))
+        pooled = global_avg_pool2d(hidden)
+        return self.head(pooled)
+
+    def stem_modules(self) -> list[Module]:
+        return [self.stem_pad, self.stem_conv]
+
+
+def bit_m_r101x3(num_classes: int, image_size: int = 32, in_channels: int = 3) -> BiTModel:
+    """Bench-scale analogue of BiT-M-R101x3."""
+    return BiTModel(
+        BiTConfig(
+            in_channels=in_channels,
+            num_classes=num_classes,
+            stage_widths=(8, 16),
+            blocks_per_stage=1,
+            width_factor=2,
+            image_size=image_size,
+        )
+    )
+
+
+def bit_m_r152x4(num_classes: int, image_size: int = 32, in_channels: int = 3) -> BiTModel:
+    """Bench-scale analogue of BiT-M-R152x4 (wider than the R101x3 analogue)."""
+    return BiTModel(
+        BiTConfig(
+            in_channels=in_channels,
+            num_classes=num_classes,
+            stage_widths=(8, 16, 32),
+            blocks_per_stage=1,
+            width_factor=2,
+            image_size=image_size,
+        )
+    )

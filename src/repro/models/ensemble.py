@@ -1,0 +1,75 @@
+"""Ensemble defender with the random-selection decision policy.
+
+The paper (§V-A2) defends with an ensemble of a ViT and a BiT model under
+*random selection*: for every sample, one of the members is chosen uniformly
+at random to produce the prediction.  Adversarial examples transfer poorly
+between attention-based and CNN-based models, so an attack crafted against
+one member rarely fools the other, which benefits the ensemble's astuteness.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.models.base import ImageClassifier
+from repro.utils.rng import get_rng
+
+
+class RandomSelectionEnsemble:
+    """Ensemble that routes each sample to a randomly selected member."""
+
+    def __init__(self, members: Sequence[ImageClassifier], rng: np.random.Generator | None = None):
+        if len(members) < 2:
+            raise ValueError("an ensemble needs at least two members")
+        self.members = list(members)
+        self._rng = rng if rng is not None else get_rng("ensemble")
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def member_names(self) -> list[str]:
+        """Family names of the members (useful for reporting)."""
+        return [type(member).__name__ for member in self.members]
+
+    def select_members(self, batch_size: int) -> np.ndarray:
+        """Draw the member index used for each of ``batch_size`` samples."""
+        return self._rng.integers(0, len(self.members), size=batch_size)
+
+    def predict(self, inputs: np.ndarray, selection: np.ndarray | None = None) -> np.ndarray:
+        """Predict class indices; ``selection`` fixes the per-sample member choice."""
+        inputs = np.asarray(inputs)
+        if selection is None:
+            selection = self.select_members(len(inputs))
+        selection = np.asarray(selection)
+        predictions = np.zeros(len(inputs), dtype=np.int64)
+        for index, member in enumerate(self.members):
+            mask = selection == index
+            if mask.any():
+                predictions[mask] = member.predict(inputs[mask])
+        return predictions
+
+    def predict_per_member(self, inputs: np.ndarray) -> np.ndarray:
+        """Predictions of every member, shape ``(num_members, batch)``."""
+        inputs = np.asarray(inputs)
+        return np.stack([member.predict(inputs) for member in self.members], axis=0)
+
+    def accuracy(
+        self,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        selection: np.ndarray | None = None,
+        batch_size: int = 64,
+    ) -> float:
+        """Accuracy of the random-selection ensemble over a labelled batch."""
+        inputs = np.asarray(inputs)
+        labels = np.asarray(labels)
+        if selection is None:
+            selection = self.select_members(len(inputs))
+        correct = 0
+        for start in range(0, len(labels), batch_size):
+            stop = start + batch_size
+            predictions = self.predict(inputs[start:stop], selection[start:stop])
+            correct += int((predictions == labels[start:stop]).sum())
+        return correct / max(len(labels), 1)

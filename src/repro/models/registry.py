@@ -1,0 +1,54 @@
+"""Model registry mapping paper model names to bench-scale constructors."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.models.base import ImageClassifier
+from repro.models.bit import bit_m_r101x3, bit_m_r152x4
+from repro.models.resnet import resnet56, resnet164
+from repro.models.simple import MLPClassifier, SimpleCNN, SimpleCNNConfig
+from repro.models.vit import vit_b16, vit_b32, vit_l16
+
+ModelFactory = Callable[..., ImageClassifier]
+
+
+def _simple_cnn(num_classes: int, image_size: int = 32, in_channels: int = 3) -> SimpleCNN:
+    return SimpleCNN(
+        SimpleCNNConfig(in_channels=in_channels, num_classes=num_classes, image_size=image_size)
+    )
+
+
+def _mlp(num_classes: int, image_size: int = 32, in_channels: int = 3) -> MLPClassifier:
+    input_dim = in_channels * image_size * image_size
+    return MLPClassifier(
+        input_dim, num_classes, hidden_dim=64, input_shape=(in_channels, image_size, image_size)
+    )
+
+
+#: Every defender evaluated in the paper plus two auxiliary test models.
+MODEL_REGISTRY: dict[str, ModelFactory] = {
+    "vit_l16": vit_l16,
+    "vit_b16": vit_b16,
+    "vit_b32": vit_b32,
+    "resnet56": resnet56,
+    "resnet164": resnet164,
+    "bit_m_r101x3": bit_m_r101x3,
+    "bit_m_r152x4": bit_m_r152x4,
+    "simple_cnn": _simple_cnn,
+    "mlp": _mlp,
+}
+
+
+def list_models() -> list[str]:
+    """Names of every registered model."""
+    return sorted(MODEL_REGISTRY)
+
+
+def build_model(
+    name: str, num_classes: int, image_size: int = 32, in_channels: int = 3
+) -> ImageClassifier:
+    """Instantiate a bench-scale defender by its paper name."""
+    if name not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {list_models()}")
+    return MODEL_REGISTRY[name](num_classes, image_size=image_size, in_channels=in_channels)

@@ -1,0 +1,119 @@
+"""Pre-activation ResNet-v2 defender models (ResNet-56 / ResNet-164 style).
+
+For ResNets the paper shields "the first convolution, batch normalization and
+ReLU activation" (§V-A), so the stem here is exactly conv → BN → ReLU and the
+trunk is the residual stages, global pooling and the linear head.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.autodiff import functional as F
+from repro.autodiff.conv import global_avg_pool2d
+from repro.autodiff.tensor import Tensor
+from repro.nn.layers import BatchNorm2d, Conv2d, Linear, ReLU
+from repro.nn.module import Module
+from repro.models.base import ImageClassifier
+
+
+@dataclass(frozen=True)
+class ResNetConfig:
+    """Hyper-parameters of a (scaled) pre-activation ResNet."""
+
+    in_channels: int
+    num_classes: int
+    stage_widths: tuple[int, ...] = (16, 32, 64)
+    blocks_per_stage: int = 2
+    image_size: int = 32
+
+
+class PreActBlock(Module):
+    """Pre-activation residual block: BN-ReLU-Conv, BN-ReLU-Conv + identity."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1):
+        super().__init__()
+        self.bn1 = BatchNorm2d(in_channels)
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1)
+        self.bn2 = BatchNorm2d(out_channels)
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1)
+        self.downsample: Conv2d | None = None
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = Conv2d(in_channels, out_channels, 1, stride=stride, padding=0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        pre = F.relu(self.bn1(x))
+        shortcut = self.downsample(pre) if self.downsample is not None else x
+        out = self.conv1(pre)
+        out = self.conv2(F.relu(self.bn2(out)))
+        return out + shortcut
+
+
+class ResNetV2(ImageClassifier):
+    """Scaled pre-activation ResNet with the paper's shielding stem."""
+
+    family = "resnet"
+    stem_description = "first convolution, batch normalization and ReLU activation"
+
+    def __init__(self, config: ResNetConfig):
+        super().__init__(config.num_classes, (config.in_channels, config.image_size, config.image_size))
+        self.config = config
+        first_width = config.stage_widths[0]
+        self.stem_conv = Conv2d(config.in_channels, first_width, 3, stride=1, padding=1)
+        self.stem_bn = BatchNorm2d(first_width)
+        self.stem_act = ReLU()
+        self.blocks: list[PreActBlock] = []
+        in_channels = first_width
+        block_index = 0
+        for stage, width in enumerate(config.stage_widths):
+            for block in range(config.blocks_per_stage):
+                stride = 2 if (stage > 0 and block == 0) else 1
+                residual = PreActBlock(in_channels, width, stride=stride)
+                setattr(self, f"block{block_index}", residual)
+                self.blocks.append(residual)
+                in_channels = width
+                block_index += 1
+        self.final_bn = BatchNorm2d(in_channels)
+        self.head = Linear(in_channels, config.num_classes)
+
+    def forward_stem(self, x: Tensor) -> Tensor:
+        # Centre the [0, 1] pixel range before the first convolution; the
+        # rescaling belongs to the shielded stem.
+        centred = (x - 0.5) * 2.0
+        return self.stem_act(self.stem_bn(self.stem_conv(centred)))
+
+    def forward_trunk(self, hidden: Tensor) -> Tensor:
+        for block in self.blocks:
+            hidden = block(hidden)
+        hidden = F.relu(self.final_bn(hidden))
+        pooled = global_avg_pool2d(hidden)
+        return self.head(pooled)
+
+    def stem_modules(self) -> list[Module]:
+        return [self.stem_conv, self.stem_bn]
+
+
+def resnet56(num_classes: int, image_size: int = 32, in_channels: int = 3) -> ResNetV2:
+    """Bench-scale analogue of ResNet-56."""
+    return ResNetV2(
+        ResNetConfig(
+            in_channels=in_channels,
+            num_classes=num_classes,
+            stage_widths=(8, 16),
+            blocks_per_stage=2,
+            image_size=image_size,
+        )
+    )
+
+
+def resnet164(num_classes: int, image_size: int = 32, in_channels: int = 3) -> ResNetV2:
+    """Bench-scale analogue of ResNet-164 (deeper/wider than resnet56)."""
+    return ResNetV2(
+        ResNetConfig(
+            in_channels=in_channels,
+            num_classes=num_classes,
+            stage_widths=(12, 24),
+            blocks_per_stage=3,
+            image_size=image_size,
+        )
+    )

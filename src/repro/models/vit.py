@@ -1,0 +1,152 @@
+"""Vision Transformer defender models (ViT-L/16, ViT-B/16, ViT-B/32 style).
+
+The stem (the part PELTA shields, §V-A of the paper) covers every transform
+up to and including the position embedding:
+
+    z_0 = [x_class ; x_p^1 E ; ... ; x_p^N E] + E_pos
+
+The trunk is the stack of transformer encoder blocks, the final layer norm
+and the classification head applied to the class token.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+from repro.nn.embedding import ClassToken, PatchEmbedding, PositionalEmbedding
+from repro.nn.layers import LayerNorm, Linear
+from repro.nn.module import Module
+from repro.nn.transformer import TransformerEncoderBlock
+from repro.models.base import ImageClassifier
+
+
+@dataclass(frozen=True)
+class ViTConfig:
+    """Hyper-parameters of a Vision Transformer."""
+
+    image_size: int
+    patch_size: int
+    in_channels: int
+    num_classes: int
+    dim: int
+    depth: int
+    num_heads: int
+    mlp_ratio: float = 4.0
+    dropout: float = 0.0
+
+    @property
+    def num_patches(self) -> int:
+        return (self.image_size // self.patch_size) ** 2
+
+    @property
+    def sequence_length(self) -> int:
+        return self.num_patches + 1
+
+
+class VisionTransformer(ImageClassifier):
+    """A ViT classifier with the paper's stem/trunk shielding split."""
+
+    family = "vit"
+    stem_description = (
+        "patch separation, projection onto the embedding space (E), class token "
+        "concatenation and position embedding summation (E_pos)"
+    )
+
+    def __init__(self, config: ViTConfig):
+        super().__init__(config.num_classes, (config.in_channels, config.image_size, config.image_size))
+        self.config = config
+        self.patch_embedding = PatchEmbedding(
+            config.image_size, config.patch_size, config.in_channels, config.dim
+        )
+        self.class_token = ClassToken(config.dim)
+        self.position_embedding = PositionalEmbedding(config.sequence_length, config.dim)
+        self.blocks: list[TransformerEncoderBlock] = []
+        for index in range(config.depth):
+            block = TransformerEncoderBlock(
+                config.dim, config.num_heads, config.mlp_ratio, config.dropout
+            )
+            setattr(self, f"block{index}", block)
+            self.blocks.append(block)
+        self.norm = LayerNorm(config.dim)
+        self.head = Linear(config.dim, config.num_classes)
+
+    # ------------------------------------------------------------------ #
+    # Stem / trunk
+    # ------------------------------------------------------------------ #
+    def forward_stem(self, x: Tensor) -> Tensor:
+        # Centre the [0, 1] pixel range; the affine rescaling is part of the
+        # shielded stem, like every other transform before the encoder blocks.
+        centred = (x - 0.5) * 2.0
+        tokens = self.patch_embedding(centred)
+        tokens = self.class_token(tokens)
+        return self.position_embedding(tokens)
+
+    def forward_trunk(self, hidden: Tensor) -> Tensor:
+        for block in self.blocks:
+            hidden = block(hidden)
+        hidden = self.norm(hidden)
+        class_token = hidden[:, 0, :]
+        return self.head(class_token)
+
+    def stem_modules(self) -> list[Module]:
+        return [self.patch_embedding, self.class_token, self.position_embedding]
+
+    def attention_maps(self) -> list[np.ndarray]:
+        """Per-block attention maps ``(N, heads, T, T)`` of the last forward pass."""
+        maps = []
+        for block in self.blocks:
+            weights = block.attention.last_attention_weights
+            if weights is not None:
+                maps.append(weights)
+        return maps
+
+
+# --------------------------------------------------------------------------- #
+# Bench-scale variants of the paper's defenders
+# --------------------------------------------------------------------------- #
+def vit_l16(num_classes: int, image_size: int = 32, in_channels: int = 3) -> VisionTransformer:
+    """Bench-scale analogue of ViT-L/16 (largest ViT defender in the paper)."""
+    return VisionTransformer(
+        ViTConfig(
+            image_size=image_size,
+            patch_size=max(image_size // 4, 2),
+            in_channels=in_channels,
+            num_classes=num_classes,
+            dim=64,
+            depth=4,
+            num_heads=8,
+        )
+    )
+
+
+def vit_b16(num_classes: int, image_size: int = 32, in_channels: int = 3) -> VisionTransformer:
+    """Bench-scale analogue of ViT-B/16."""
+    return VisionTransformer(
+        ViTConfig(
+            image_size=image_size,
+            patch_size=max(image_size // 4, 2),
+            in_channels=in_channels,
+            num_classes=num_classes,
+            dim=48,
+            depth=3,
+            num_heads=6,
+        )
+    )
+
+
+def vit_b32(num_classes: int, image_size: int = 32, in_channels: int = 3) -> VisionTransformer:
+    """Bench-scale analogue of ViT-B/32 (coarser patches than ViT-B/16)."""
+    return VisionTransformer(
+        ViTConfig(
+            image_size=image_size,
+            patch_size=max(image_size // 2, 2),
+            in_channels=in_channels,
+            num_classes=num_classes,
+            dim=48,
+            depth=3,
+            num_heads=6,
+        )
+    )

@@ -1,0 +1,48 @@
+"""Multi-head self-attention with access to the attention maps.
+
+The Self-Attention Gradient Attack (SAGA, §V-B of the paper) needs the
+per-head attention weight matrices ``W_att`` of every encoder block to build
+its self-attention map factor ``phi_v`` (Eq. 4).  The attention module
+therefore keeps a copy of the most recent attention weights, which the attack
+reads through :attr:`last_attention_weights`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff import functional as F
+from repro.autodiff.tensor import Tensor
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard multi-head self-attention over ``(N, T, D)`` token sequences."""
+
+    def __init__(self, dim: int, num_heads: int):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError("embedding dimension must be divisible by the number of heads")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.scale = 1.0 / float(np.sqrt(self.head_dim))
+        self.qkv = Linear(dim, 3 * dim)
+        self.proj = Linear(dim, dim)
+        #: Attention weights of the most recent forward pass, shape
+        #: ``(N, num_heads, T, T)``.  Exposed for SAGA's ``phi_v`` factor.
+        self.last_attention_weights: np.ndarray | None = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, t, d = x.shape
+        qkv = self.qkv(x)  # (N, T, 3D)
+        qkv = qkv.reshape(n, t, 3, self.num_heads, self.head_dim)
+        qkv = qkv.transpose((2, 0, 3, 1, 4))  # (3, N, H, T, Dh)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+        scores = (q @ k.swapaxes(-1, -2)) * self.scale  # (N, H, T, T)
+        attention = F.softmax(scores, axis=-1)
+        self.last_attention_weights = np.array(attention.data, copy=True)
+        context = attention @ v  # (N, H, T, Dh)
+        context = context.transpose((0, 2, 1, 3)).reshape(n, t, d)
+        return self.proj(context)

@@ -1,0 +1,82 @@
+"""Patch, class-token and positional embeddings for Vision Transformers.
+
+These modules implement exactly the transforms the paper places inside the
+TEE enclave for ViT models (§V-A): separation of the input into patches
+``x_p^n``, projection onto the embedding space with matrix ``E``,
+concatenation with the learnable class token ``x_class`` and summation with
+the position embedding ``E_pos``:
+
+    z_0 = [x_class ; x_p^1 E ; ... ; x_p^N E] + E_pos
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor, concat
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class PatchEmbedding(Module):
+    """Split an image into non-overlapping patches and project them linearly."""
+
+    def __init__(self, image_size: int, patch_size: int, in_channels: int, dim: int):
+        super().__init__()
+        if image_size % patch_size != 0:
+            raise ValueError("image size must be divisible by the patch size")
+        self.image_size = image_size
+        self.patch_size = patch_size
+        self.in_channels = in_channels
+        self.dim = dim
+        self.num_patches = (image_size // patch_size) ** 2
+        patch_dim = in_channels * patch_size * patch_size
+        self.projection = Parameter(init.xavier_uniform((patch_dim, dim)), name="projection")
+        self.bias = Parameter(init.zeros((dim,)), name="bias")
+
+    def patchify(self, x: Tensor) -> Tensor:
+        """Rearrange ``(N, C, H, W)`` into ``(N, num_patches, C*p*p)``."""
+        n, c, h, w = x.shape
+        p = self.patch_size
+        grid_h, grid_w = h // p, w // p
+        x = x.reshape(n, c, grid_h, p, grid_w, p)
+        x = x.transpose((0, 2, 4, 1, 3, 5))
+        return x.reshape(n, grid_h * grid_w, c * p * p)
+
+    def forward(self, x: Tensor) -> Tensor:
+        patches = self.patchify(x)
+        return patches @ self.projection + self.bias
+
+
+class ClassToken(Module):
+    """Prepend a learnable classification token to a token sequence."""
+
+    def __init__(self, dim: int):
+        super().__init__()
+        self.dim = dim
+        self.token = Parameter(init.normal((1, 1, dim), std=0.02), name="token")
+
+    def forward(self, tokens: Tensor) -> Tensor:
+        n = tokens.shape[0]
+        expander = Tensor(np.ones((n, 1, 1)))
+        expanded = self.token * expander
+        return concat([expanded, tokens], axis=1)
+
+
+class PositionalEmbedding(Module):
+    """Add a learnable positional embedding to a token sequence."""
+
+    def __init__(self, sequence_length: int, dim: int):
+        super().__init__()
+        self.sequence_length = sequence_length
+        self.dim = dim
+        self.embedding = Parameter(
+            init.normal((1, sequence_length, dim), std=0.02), name="embedding"
+        )
+
+    def forward(self, tokens: Tensor) -> Tensor:
+        if tokens.shape[1] != self.sequence_length:
+            raise ValueError(
+                f"expected sequence length {self.sequence_length}, got {tokens.shape[1]}"
+            )
+        return tokens + self.embedding

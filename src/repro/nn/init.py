@@ -1,0 +1,51 @@
+"""Parameter initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import get_rng
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (biases, positional embeddings)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    """All-one initialisation (normalisation scales)."""
+    return np.ones(shape, dtype=np.float64)
+
+
+def normal(shape: tuple[int, ...], std: float = 0.02, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Truncated-free Gaussian initialisation (ViT token/position embeddings)."""
+    rng = rng if rng is not None else get_rng("init")
+    return rng.normal(0.0, std, size=shape).astype(np.float64)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+    """Glorot uniform initialisation for dense layers."""
+    rng = rng if rng is not None else get_rng("init")
+    fan_in, fan_out = _fans(shape)
+    limit = float(np.sqrt(6.0 / (fan_in + fan_out)))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+    """He initialisation for ReLU convolutional / dense layers."""
+    rng = rng if rng is not None else get_rng("init")
+    fan_in, _ = _fans(shape)
+    std = float(np.sqrt(2.0 / fan_in))
+    return rng.normal(0.0, std, size=shape).astype(np.float64)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 2:
+        fan_in, fan_out = shape[0], shape[1]
+    elif len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        fan_in = fan_out = int(np.prod(shape))
+    return max(fan_in, 1), max(fan_out, 1)

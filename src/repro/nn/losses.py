@@ -1,0 +1,31 @@
+"""Loss modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff import functional as F
+from repro.autodiff.tensor import Tensor
+from repro.nn.module import Module
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy against integer class targets."""
+
+    def __init__(self, reduction: str = "mean"):
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, targets, reduction=self.reduction)
+
+
+class MSELoss(Module):
+    """Mean squared error."""
+
+    def __init__(self, reduction: str = "mean"):
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        return F.mse_loss(prediction, target, reduction=self.reduction)

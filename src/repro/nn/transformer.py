@@ -1,0 +1,38 @@
+"""Transformer encoder building blocks (pre-norm, as in ViT)."""
+
+from __future__ import annotations
+
+from repro.autodiff.tensor import Tensor
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.layers import GELU, Dropout, LayerNorm, Linear
+from repro.nn.module import Module
+
+
+class MLPBlock(Module):
+    """Two-layer feed-forward block with GELU activation."""
+
+    def __init__(self, dim: int, hidden_dim: int, dropout: float = 0.0):
+        super().__init__()
+        self.fc1 = Linear(dim, hidden_dim)
+        self.act = GELU()
+        self.fc2 = Linear(hidden_dim, dim)
+        self.drop = Dropout(dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.drop(self.fc2(self.act(self.fc1(x))))
+
+
+class TransformerEncoderBlock(Module):
+    """Pre-norm transformer encoder block: MHSA + MLP with residuals."""
+
+    def __init__(self, dim: int, num_heads: int, mlp_ratio: float = 4.0, dropout: float = 0.0):
+        super().__init__()
+        self.norm1 = LayerNorm(dim)
+        self.attention = MultiHeadSelfAttention(dim, num_heads)
+        self.norm2 = LayerNorm(dim)
+        self.mlp = MLPBlock(dim, int(dim * mlp_ratio), dropout=dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attention(self.norm1(x))
+        x = x + self.mlp(self.norm2(x))
+        return x

@@ -1,0 +1,35 @@
+"""Trusted execution environment substrate (enclaves, attestation, channels)."""
+
+from repro.tee.attestation import AttestationQuote, measure_payload, produce_quote, verify_quote
+from repro.tee.enclave import Enclave, EnclaveMemoryReport, SGXEnclave, TrustZoneEnclave
+from repro.tee.errors import (
+    AttestationError,
+    EnclaveAccessError,
+    EnclaveMemoryError,
+    SecureChannelError,
+    TEEError,
+)
+from repro.tee.secure_channel import EncryptedMessage, SecureChannel, establish_session
+from repro.tee.world import WorldBoundary, WorldSwitchCostModel, WorldSwitchStats
+
+__all__ = [
+    "AttestationError",
+    "AttestationQuote",
+    "Enclave",
+    "EnclaveAccessError",
+    "EnclaveMemoryError",
+    "EnclaveMemoryReport",
+    "EncryptedMessage",
+    "SGXEnclave",
+    "SecureChannel",
+    "SecureChannelError",
+    "TEEError",
+    "TrustZoneEnclave",
+    "WorldBoundary",
+    "WorldSwitchCostModel",
+    "WorldSwitchStats",
+    "establish_session",
+    "measure_payload",
+    "produce_quote",
+    "verify_quote",
+]

@@ -1,0 +1,23 @@
+"""Exception types raised by the TEE substrate."""
+
+from __future__ import annotations
+
+
+class TEEError(RuntimeError):
+    """Base class for every TEE-related error."""
+
+
+class EnclaveMemoryError(TEEError):
+    """Raised when an allocation would exceed the enclave's secure memory."""
+
+
+class EnclaveAccessError(TEEError):
+    """Raised when unprivileged code attempts to read shielded data."""
+
+
+class AttestationError(TEEError):
+    """Raised when a remote attestation quote fails verification."""
+
+
+class SecureChannelError(TEEError):
+    """Raised when an encrypted message fails integrity verification."""

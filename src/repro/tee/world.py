@@ -1,0 +1,94 @@
+"""Normal-world / secure-world switching and data-transfer cost model.
+
+§VI of the paper discusses the system implications of PELTA: every inference
+crosses the TEE boundary twice (feeding the input to the shielded stem and
+extracting the stem output), each crossing costs a context switch and the data
+moved across the boundary goes through a secure channel.  This module models
+those costs so the §VI overhead benchmark can sweep them.
+
+The default latencies follow the ranges quoted in the paper's references
+(elementary TEE world switches cost microseconds up to a millisecond for both
+TrustZone and SGX).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WorldSwitchCostModel:
+    """Latency / bandwidth parameters of the secure-world boundary."""
+
+    switch_latency_us: float = 50.0
+    transfer_bandwidth_mb_per_s: float = 800.0
+    crypto_overhead_us_per_kb: float = 1.5
+
+    def transfer_time_us(self, nbytes: int) -> float:
+        """Time to move ``nbytes`` across the boundary, including crypto."""
+        megabytes = nbytes / (1024.0 * 1024.0)
+        kilobytes = nbytes / 1024.0
+        transfer = megabytes / self.transfer_bandwidth_mb_per_s * 1e6
+        crypto = kilobytes * self.crypto_overhead_us_per_kb
+        return transfer + crypto
+
+
+@dataclass
+class WorldSwitchStats:
+    """Accumulated counters for world switches and boundary transfers."""
+
+    switches: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    simulated_time_us: float = 0.0
+
+    def reset(self) -> None:
+        self.switches = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.simulated_time_us = 0.0
+
+
+class WorldBoundary:
+    """Tracks crossings between the normal world and the secure world."""
+
+    def __init__(self, cost_model: WorldSwitchCostModel | None = None):
+        self.cost_model = cost_model if cost_model is not None else WorldSwitchCostModel()
+        self.stats = WorldSwitchStats()
+        self._in_secure_world = False
+
+    @property
+    def in_secure_world(self) -> bool:
+        """Whether execution is currently (logically) inside the secure world."""
+        return self._in_secure_world
+
+    def enter_secure_world(self, payload_bytes: int = 0) -> float:
+        """Switch into the secure world, carrying ``payload_bytes`` of input."""
+        return self._switch(entering=True, payload_bytes=payload_bytes)
+
+    def exit_secure_world(self, payload_bytes: int = 0) -> float:
+        """Switch back to the normal world, carrying ``payload_bytes`` of output."""
+        return self._switch(entering=False, payload_bytes=payload_bytes)
+
+    def _switch(self, entering: bool, payload_bytes: int) -> float:
+        self._in_secure_world = entering
+        elapsed = self.cost_model.switch_latency_us
+        elapsed += self.cost_model.transfer_time_us(payload_bytes)
+        self.stats.switches += 1
+        if entering:
+            self.stats.bytes_in += payload_bytes
+        else:
+            self.stats.bytes_out += payload_bytes
+        self.stats.simulated_time_us += elapsed
+        return elapsed
+
+    def secure_call(self, payload_in_bytes: int, payload_out_bytes: int) -> float:
+        """Model one round trip into the secure world (two switches)."""
+        total = self.enter_secure_world(payload_in_bytes)
+        total += self.exit_secure_world(payload_out_bytes)
+        return total
+
+    def reset(self) -> None:
+        """Reset the accumulated statistics (the cost model is kept)."""
+        self.stats.reset()
+        self._in_secure_world = False

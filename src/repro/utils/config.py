@@ -1,0 +1,34 @@
+"""Helpers for converting configuration dataclasses to and from dictionaries."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, TypeVar
+
+T = TypeVar("T")
+
+
+class ConfigError(ValueError):
+    """Raised when a configuration dictionary cannot be converted."""
+
+
+def config_to_dict(config: Any) -> dict[str, Any]:
+    """Convert a (possibly nested) dataclass configuration to a plain dict."""
+    if not dataclasses.is_dataclass(config) or isinstance(config, type):
+        raise ConfigError(f"expected a dataclass instance, got {type(config)!r}")
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(cls: type[T], values: dict[str, Any]) -> T:
+    """Build a dataclass of type ``cls`` from ``values``.
+
+    Unknown keys raise :class:`ConfigError` so typos in experiment files are
+    caught early rather than silently ignored.
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise ConfigError(f"expected a dataclass type, got {cls!r}")
+    field_names = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(values) - field_names
+    if unknown:
+        raise ConfigError(f"unknown configuration keys for {cls.__name__}: {sorted(unknown)}")
+    return cls(**values)

@@ -1,0 +1,37 @@
+"""Thin logging helpers with a library-wide namespace."""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+_CONFIGURED = False
+
+
+def _ensure_configured() -> None:
+    global _CONFIGURED
+    if _CONFIGURED:
+        return
+    root = logging.getLogger(_ROOT_NAME)
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s")
+        )
+        root.addHandler(handler)
+    root.setLevel(logging.WARNING)
+    _CONFIGURED = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace."""
+    _ensure_configured()
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def set_verbosity(level: int) -> None:
+    """Set the verbosity of every ``repro`` logger."""
+    _ensure_configured()
+    logging.getLogger(_ROOT_NAME).setLevel(level)

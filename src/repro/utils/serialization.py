@@ -1,0 +1,20 @@
+"""Serialization of model / experiment state to ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping
+
+import numpy as np
+
+
+def save_state(path: str | os.PathLike, state: Mapping[str, np.ndarray]) -> None:
+    """Save a flat mapping of arrays to ``path`` (``.npz``)."""
+    arrays = {str(key): np.asarray(value) for key, value in state.items()}
+    np.savez(path, **arrays)
+
+
+def load_state(path: str | os.PathLike) -> dict[str, np.ndarray]:
+    """Load a flat mapping of arrays previously written by :func:`save_state`."""
+    with np.load(path, allow_pickle=False) as archive:
+        return {key: archive[key] for key in archive.files}

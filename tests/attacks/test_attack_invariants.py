@@ -1,0 +1,149 @@
+"""Invariant tests shared by every ε-bounded attack (plus hypothesis properties)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import (
+    APGD,
+    FGSM,
+    MIM,
+    PGD,
+    CarliniWagner,
+    RandomUniform,
+    project_linf,
+)
+from repro.core.views import FullWhiteBoxView
+from repro.models.simple import MLPClassifier
+from repro.nn.trainer import fit_classifier
+from repro.utils.rng import spawn_rng
+
+EPSILON = 0.1
+
+
+@pytest.fixture(scope="module")
+def toy_view():
+    """A trained 2-feature classifier wrapped in a full white-box view."""
+    rng = spawn_rng("tests.attacks.toy")
+    points = rng.uniform(size=(160, 1, 1, 8))
+    labels = (points[:, 0, 0, :4].sum(axis=1) > points[:, 0, 0, 4:].sum(axis=1)).astype(np.int64)
+    model = MLPClassifier(input_dim=8, num_classes=2, hidden_dim=16, input_shape=(1, 1, 8))
+    fit_classifier(model, points, labels, epochs=15, batch_size=32, lr=5e-3)
+    view = FullWhiteBoxView(model)
+    correct = model.predict(points) == labels
+    return view, points[correct][:24], labels[correct][:24]
+
+
+_EPS_BOUNDED_ATTACKS = [
+    FGSM(epsilon=EPSILON),
+    PGD(epsilon=EPSILON, step_size=EPSILON / 5, steps=6),
+    PGD(epsilon=EPSILON, step_size=EPSILON / 5, steps=6, random_start=True),
+    MIM(epsilon=EPSILON, step_size=EPSILON / 5, steps=6),
+    APGD(epsilon=EPSILON, steps=8),
+    RandomUniform(epsilon=EPSILON),
+]
+_IDS = ["fgsm", "pgd", "pgd_random_start", "mim", "apgd", "random"]
+
+
+class TestEpsilonBallInvariants:
+    @pytest.mark.parametrize("attack", _EPS_BOUNDED_ATTACKS, ids=_IDS)
+    def test_perturbation_stays_in_ball_and_pixel_range(self, attack, toy_view):
+        view, inputs, labels = toy_view
+        result = attack.run(view, inputs, labels)
+        assert result.adversarials.shape == inputs.shape
+        assert np.all(result.linf_norms() <= EPSILON + 1e-9)
+        assert result.adversarials.min() >= 0.0
+        assert result.adversarials.max() <= 1.0
+
+    @pytest.mark.parametrize("attack", _EPS_BOUNDED_ATTACKS, ids=_IDS)
+    def test_originals_are_not_modified(self, attack, toy_view):
+        view, inputs, labels = toy_view
+        before = inputs.copy()
+        attack.run(view, inputs, labels)
+        np.testing.assert_array_equal(inputs, before)
+
+    def test_gradient_attacks_beat_random_noise(self, toy_view):
+        """Gradient-following attacks must increase the loss more than noise."""
+        view, inputs, labels = toy_view
+        pgd = PGD(epsilon=EPSILON, step_size=EPSILON / 5, steps=8)
+        random_attack = RandomUniform(epsilon=EPSILON)
+        pgd_loss = view.loss(pgd.run(view, inputs, labels).adversarials, labels).mean()
+        noise_loss = view.loss(random_attack.run(view, inputs, labels).adversarials, labels).mean()
+        clean_loss = view.loss(inputs, labels).mean()
+        assert pgd_loss > clean_loss
+        assert pgd_loss > noise_loss
+
+    def test_pgd_increases_loss_monotonically_with_steps(self, toy_view):
+        view, inputs, labels = toy_view
+        few = PGD(epsilon=EPSILON, step_size=EPSILON / 10, steps=2)
+        many = PGD(epsilon=EPSILON, step_size=EPSILON / 10, steps=12)
+        few_loss = view.loss(few.run(view, inputs, labels).adversarials, labels).mean()
+        many_loss = view.loss(many.run(view, inputs, labels).adversarials, labels).mean()
+        assert many_loss >= few_loss - 1e-9
+
+    def test_mim_momentum_changes_result(self, toy_view):
+        view, inputs, labels = toy_view
+        with_momentum = MIM(epsilon=EPSILON, step_size=EPSILON / 5, steps=5, decay=1.0)
+        without_momentum = MIM(epsilon=EPSILON, step_size=EPSILON / 5, steps=5, decay=0.0)
+        a = with_momentum.run(view, inputs, labels).adversarials
+        b = without_momentum.run(view, inputs, labels).adversarials
+        assert a.shape == b.shape
+
+    def test_apgd_at_least_as_strong_as_single_step(self, toy_view):
+        view, inputs, labels = toy_view
+        apgd = APGD(epsilon=EPSILON, steps=10)
+        fgsm = FGSM(epsilon=EPSILON)
+        apgd_loss = view.loss(apgd.run(view, inputs, labels).adversarials, labels).mean()
+        fgsm_loss = view.loss(fgsm.run(view, inputs, labels).adversarials, labels).mean()
+        assert apgd_loss >= fgsm_loss - 1e-6
+
+    def test_attack_result_bookkeeping(self, toy_view):
+        view, inputs, labels = toy_view
+        result = PGD(epsilon=EPSILON, step_size=0.02, steps=3).run(view, inputs, labels)
+        assert result.attack_name == "pgd"
+        assert result.gradient_queries == 3 * 1  # one batch, three steps
+        assert result.success.dtype == bool
+        assert 0.0 <= result.success_rate <= 1.0
+        assert result.l2_norms().shape == (len(labels),)
+
+    def test_cw_prefers_small_perturbations(self, toy_view):
+        """C&W is regularisation-based: its mean l2 should be below PGD's at same steps."""
+        view, inputs, labels = toy_view
+        cw = CarliniWagner(confidence=0.0, step_size=0.02, steps=10, l2_penalty=0.5)
+        pgd = PGD(epsilon=EPSILON, step_size=EPSILON / 5, steps=10)
+        cw_result = cw.run(view, inputs, labels)
+        pgd_result = pgd.run(view, inputs, labels)
+        assert cw_result.l2_norms().mean() <= pgd_result.l2_norms().mean() + 1e-6
+        assert cw_result.adversarials.min() >= 0.0
+        assert cw_result.adversarials.max() <= 1.0
+
+
+class TestProjectLinf:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(min_value=0.01, max_value=0.5),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_projection_always_lands_in_ball_and_range(self, epsilon, size):
+        rng = np.random.default_rng(size)
+        origin = rng.uniform(size=(size, 3))
+        candidates = origin + rng.normal(scale=1.0, size=(size, 3))
+        projected = project_linf(candidates, origin, epsilon)
+        assert np.all(np.abs(projected - origin) <= epsilon + 1e-12)
+        assert np.all(projected >= 0.0) and np.all(projected <= 1.0)
+
+    def test_projection_is_identity_inside_the_ball(self):
+        origin = np.full((2, 2), 0.5)
+        candidates = origin + 0.01
+        np.testing.assert_allclose(project_linf(candidates, origin, 0.05), candidates)
+
+    def test_projection_is_idempotent(self):
+        rng = np.random.default_rng(0)
+        origin = rng.uniform(size=(4, 4))
+        candidates = origin + rng.normal(scale=0.3, size=(4, 4))
+        once = project_linf(candidates, origin, 0.1)
+        twice = project_linf(once, origin, 0.1)
+        np.testing.assert_allclose(once, twice)

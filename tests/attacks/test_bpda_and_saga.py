@@ -1,0 +1,171 @@
+"""Tests for the BPDA upsampling substitutes, SAGA and the patch attack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    AdversarialPatchAttack,
+    AverageUpsampler,
+    SelfAttentionGradientAttack,
+    TokenUnprojectionUpsampler,
+    TransposedConvUpsampler,
+    attention_image_weights,
+    attention_rollout,
+    make_attacker_view,
+    make_upsampler,
+)
+from repro.core import FullWhiteBoxView, RestrictedWhiteBoxView, ShieldedModel
+from repro.models.simple import SimpleCNN, SimpleCNNConfig
+from repro.models.vit import ViTConfig, VisionTransformer
+
+
+def _tiny_cnn() -> SimpleCNN:
+    return SimpleCNN(SimpleCNNConfig(in_channels=3, num_classes=3, widths=(4, 8), image_size=8))
+
+
+def _tiny_vit() -> VisionTransformer:
+    return VisionTransformer(
+        ViTConfig(image_size=8, patch_size=2, in_channels=3, num_classes=3, dim=8, depth=2, num_heads=2)
+    )
+
+
+class TestUpsamplers:
+    def test_transposed_conv_shape(self, rng):
+        upsampler = TransposedConvUpsampler(rng)
+        adjoint = rng.normal(size=(2, 6, 8, 8))
+        out = upsampler(adjoint, (2, 3, 8, 8))
+        assert out.shape == (2, 3, 8, 8)
+
+    def test_transposed_conv_upsamples_smaller_adjoints(self, rng):
+        upsampler = TransposedConvUpsampler(rng)
+        adjoint = rng.normal(size=(1, 4, 4, 4))
+        out = upsampler(adjoint, (1, 3, 8, 8))
+        assert out.shape == (1, 3, 8, 8)
+
+    def test_transposed_conv_kernel_is_cached(self, rng):
+        upsampler = TransposedConvUpsampler(rng)
+        adjoint = rng.normal(size=(1, 4, 8, 8))
+        first = upsampler(adjoint, (1, 3, 8, 8))
+        second = upsampler(adjoint, (1, 3, 8, 8))
+        np.testing.assert_allclose(first, second)
+
+    def test_transposed_conv_rejects_token_adjoints(self, rng):
+        with pytest.raises(ValueError):
+            TransposedConvUpsampler(rng)(rng.normal(size=(1, 5, 8)), (1, 3, 8, 8))
+
+    def test_average_upsampler_preserves_spatial_sign(self, rng):
+        upsampler = AverageUpsampler()
+        adjoint = np.ones((1, 4, 4, 4))
+        adjoint[:, :, :2, :] = -1.0
+        out = upsampler(adjoint, (1, 3, 8, 8))
+        assert out.shape == (1, 3, 8, 8)
+        assert np.all(out[:, :, :4, :] < 0.0)
+        assert np.all(out[:, :, 4:, :] > 0.0)
+
+    def test_token_unprojection_shape(self, rng):
+        upsampler = TokenUnprojectionUpsampler(rng)
+        adjoint = rng.normal(size=(2, 17, 12))  # 16 patches + class token
+        out = upsampler(adjoint, (2, 3, 8, 8))
+        assert out.shape == (2, 3, 8, 8)
+
+    def test_token_unprojection_rejects_non_square_grids(self, rng):
+        upsampler = TokenUnprojectionUpsampler(rng)
+        with pytest.raises(ValueError):
+            upsampler(rng.normal(size=(1, 8, 12)), (1, 3, 8, 8))
+
+    def test_make_upsampler_auto_dispatch(self):
+        assert isinstance(make_upsampler("vit"), TokenUnprojectionUpsampler)
+        assert isinstance(make_upsampler("bit"), TransposedConvUpsampler)
+        assert isinstance(make_upsampler("resnet", strategy="average"), AverageUpsampler)
+        with pytest.raises(ValueError):
+            make_upsampler("vit", strategy="bogus")
+
+    def test_make_attacker_view_dispatch(self):
+        model = _tiny_cnn()
+        assert isinstance(make_attacker_view(model), FullWhiteBoxView)
+        assert isinstance(make_attacker_view(ShieldedModel(model)), RestrictedWhiteBoxView)
+
+
+class TestSaga:
+    def test_attention_rollout_shape_and_rows(self, rng):
+        maps = [rng.uniform(size=(2, 3, 5, 5)) for _ in range(2)]
+        maps = [m / m.sum(axis=-1, keepdims=True) for m in maps]
+        rollout = attention_rollout(maps)
+        assert rollout.shape == (2, 5, 5)
+        np.testing.assert_allclose(rollout.sum(axis=-1), 1.0, atol=1e-9)
+
+    def test_attention_rollout_requires_maps(self):
+        with pytest.raises(ValueError):
+            attention_rollout([])
+
+    def test_attention_image_weights_shape_and_range(self, rng):
+        maps = [rng.uniform(size=(2, 2, 17, 17)) for _ in range(2)]
+        maps = [m / m.sum(axis=-1, keepdims=True) for m in maps]
+        weights = attention_image_weights(attention_rollout(maps), (2, 3, 8, 8))
+        assert weights.shape == (2, 1, 8, 8)
+        assert weights.max() <= 1.0 + 1e-9
+        assert weights.min() >= 0.0
+
+    def test_blended_gradient_uses_both_members(self, rng):
+        vit = _tiny_vit()
+        cnn = _tiny_cnn()
+        saga = SelfAttentionGradientAttack(epsilon=0.1, step_size=0.02, steps=1, alpha_cnn=0.5)
+        inputs = rng.uniform(size=(2, 3, 8, 8))
+        labels = np.array([0, 1])
+        blended = saga.blended_gradient(
+            FullWhiteBoxView(vit), FullWhiteBoxView(cnn), inputs, labels
+        )
+        assert blended.shape == inputs.shape
+        assert np.isfinite(blended).all()
+
+    def test_run_against_ensemble_respects_epsilon(self, rng):
+        vit, cnn = _tiny_vit(), _tiny_cnn()
+        saga = SelfAttentionGradientAttack(epsilon=0.05, step_size=0.02, steps=3, alpha_cnn=0.5)
+        inputs = rng.uniform(size=(4, 3, 8, 8))
+        labels = np.array([0, 1, 2, 0])
+        result = saga.run_against_ensemble(
+            FullWhiteBoxView(vit), FullWhiteBoxView(cnn), inputs, labels
+        )
+        assert np.all(result.linf_norms() <= 0.05 + 1e-9)
+        assert result.adversarials.min() >= 0.0 and result.adversarials.max() <= 1.0
+
+    def test_single_view_fallback_uses_attention_for_vit(self, rng):
+        vit = _tiny_vit()
+        saga = SelfAttentionGradientAttack(epsilon=0.05, step_size=0.02, steps=2)
+        result = saga.run(FullWhiteBoxView(vit), rng.uniform(size=(2, 3, 8, 8)), np.array([0, 1]))
+        assert result.adversarials.shape == (2, 3, 8, 8)
+
+    def test_saga_with_shielded_members_still_produces_valid_candidates(self, rng):
+        vit, cnn = _tiny_vit(), _tiny_cnn()
+        saga = SelfAttentionGradientAttack(epsilon=0.05, step_size=0.02, steps=2, alpha_cnn=0.5)
+        adversarials = saga.craft_against_ensemble(
+            make_attacker_view(ShieldedModel(vit)),
+            make_attacker_view(ShieldedModel(cnn)),
+            rng.uniform(size=(2, 3, 8, 8)),
+            np.array([0, 1]),
+        )
+        assert adversarials.shape == (2, 3, 8, 8)
+        assert np.isfinite(adversarials).all()
+
+
+class TestPatchAttack:
+    def test_patch_only_modifies_patch_region(self, rng):
+        model = _tiny_cnn()
+        attack = AdversarialPatchAttack(patch_size=3, steps=2, step_size=0.1, row=1, col=2)
+        inputs = rng.uniform(size=(3, 3, 8, 8))
+        labels = np.array([0, 1, 2])
+        result = attack.run(FullWhiteBoxView(model), inputs, labels)
+        perturbation = np.abs(result.perturbations)
+        mask = np.zeros_like(perturbation, dtype=bool)
+        mask[:, :, 1:4, 2:5] = True
+        assert np.all(perturbation[~mask] == 0.0)
+        assert attack.last_patch.shape == (3, 3, 3)
+
+    def test_patch_values_stay_in_pixel_range(self, rng):
+        model = _tiny_cnn()
+        attack = AdversarialPatchAttack(patch_size=2, steps=3, step_size=0.2)
+        result = attack.run(FullWhiteBoxView(model), rng.uniform(size=(2, 3, 8, 8)), np.array([0, 1]))
+        assert result.adversarials.min() >= 0.0
+        assert result.adversarials.max() <= 1.0

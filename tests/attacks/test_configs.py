@@ -1,0 +1,83 @@
+"""Tests for the Table II attack parameters and the attack-suite builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import (
+    APGD,
+    FGSM,
+    MIM,
+    PGD,
+    AttackSuiteConfig,
+    CarliniWagner,
+    RandomUniform,
+    build_attack_suite,
+    build_saga,
+    table2_parameters,
+)
+
+
+class TestTable2Parameters:
+    def test_cifar_epsilon_matches_paper(self):
+        assert table2_parameters("cifar10").epsilon == pytest.approx(0.031)
+        assert table2_parameters("cifar100").epsilon == pytest.approx(0.031)
+
+    def test_imagenet_epsilon_is_doubled(self):
+        assert table2_parameters("imagenet").epsilon == pytest.approx(0.062)
+
+    def test_step_sizes_match_paper(self):
+        assert table2_parameters("cifar10").step_size == pytest.approx(0.00155)
+        assert table2_parameters("imagenet").step_size == pytest.approx(0.0031)
+
+    def test_cw_confidence_is_50(self):
+        for dataset in ("cifar10", "cifar100", "imagenet"):
+            assert table2_parameters(dataset).cw_confidence == 50.0
+
+    def test_saga_parameters(self):
+        assert table2_parameters("cifar10").saga_alpha_cnn == pytest.approx(2.0e-4)
+        assert table2_parameters("imagenet").saga_alpha_cnn == pytest.approx(0.001)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            table2_parameters("mnist")
+
+
+class TestAttackSuiteBuilder:
+    def test_suite_contains_the_five_table3_attacks(self):
+        suite = build_attack_suite(AttackSuiteConfig(dataset="cifar10"))
+        assert set(suite) == {"fgsm", "pgd", "mim", "cw", "apgd"}
+        assert isinstance(suite["fgsm"], FGSM)
+        assert isinstance(suite["pgd"], PGD)
+        assert isinstance(suite["mim"], MIM)
+        assert isinstance(suite["cw"], CarliniWagner)
+        assert isinstance(suite["apgd"], APGD)
+
+    def test_random_baseline_optional(self):
+        suite = build_attack_suite(AttackSuiteConfig(dataset="cifar10", include_random_baseline=True))
+        assert isinstance(suite["random"], RandomUniform)
+
+    def test_epsilon_scale_is_applied(self):
+        suite = build_attack_suite(AttackSuiteConfig(dataset="cifar10", epsilon_scale=2.0))
+        assert suite["fgsm"].epsilon == pytest.approx(0.062)
+        assert suite["pgd"].step_size == pytest.approx(0.0031)
+
+    def test_max_steps_caps_iterations(self):
+        suite = build_attack_suite(AttackSuiteConfig(dataset="cifar10", max_steps=7))
+        assert suite["pgd"].steps == 7
+        assert suite["mim"].steps == 7
+        assert suite["cw"].steps == 7
+
+    def test_apgd_uses_bench_budget(self):
+        suite = build_attack_suite(AttackSuiteConfig(dataset="cifar10", apgd_steps=12))
+        assert suite["apgd"].steps == 12
+
+    def test_build_saga_defaults_and_overrides(self):
+        config = AttackSuiteConfig(dataset="imagenet")
+        saga = build_saga(config)
+        assert saga.epsilon == pytest.approx(0.062)
+        assert saga.alpha_cnn == pytest.approx(0.001)
+        assert saga.alpha_vit == pytest.approx(0.999)
+        overridden = build_saga(config, steps=5, alpha_cnn=0.5)
+        assert overridden.steps == 5
+        assert overridden.alpha_cnn == 0.5

@@ -1,0 +1,144 @@
+"""Tests for convolution / pooling primitives and the attacker-side transposed conv."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    Tensor,
+    avg_pool2d,
+    col2im,
+    conv2d,
+    conv_transpose2d_numpy,
+    global_avg_pool2d,
+    im2col,
+    max_pool2d,
+    numerical_gradient,
+    relative_error,
+)
+
+TOL = 1e-6
+
+
+class TestIm2Col:
+    def test_shapes(self, rng):
+        images = rng.normal(size=(2, 3, 8, 8))
+        col, out_h, out_w = im2col(images, 3, 3, stride=1, padding=1)
+        assert (out_h, out_w) == (8, 8)
+        assert col.shape == (2 * 8 * 8, 3 * 3 * 3)
+
+    def test_stride_and_padding_output_size(self, rng):
+        images = rng.normal(size=(1, 1, 7, 7))
+        _, out_h, out_w = im2col(images, 3, 3, stride=2, padding=1)
+        assert (out_h, out_w) == (4, 4)
+
+    def test_col2im_is_adjoint_of_im2col(self, rng):
+        """col2im must be the transpose of im2col: <im2col(x), y> == <x, col2im(y)>."""
+        x = rng.normal(size=(2, 2, 6, 6))
+        col, out_h, out_w = im2col(x, 3, 3, stride=2, padding=1)
+        y = rng.normal(size=col.shape)
+        lhs = float((col * y).sum())
+        rhs = float((x * col2im(y, x.shape, 3, 3, stride=2, padding=1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestConv2d:
+    def test_output_shape(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)))
+        w = Tensor(rng.normal(size=(5, 3, 3, 3)))
+        out = conv2d(x, w, None, stride=2, padding=1)
+        assert out.shape == (2, 5, 4, 4)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            conv2d(Tensor(rng.normal(size=(1, 3, 4, 4))), Tensor(rng.normal(size=(2, 4, 3, 3))))
+
+    def test_matches_manual_convolution_1x1(self, rng):
+        """A 1x1 convolution is a per-pixel linear map over channels."""
+        x = rng.normal(size=(1, 3, 4, 4))
+        w = rng.normal(size=(2, 3, 1, 1))
+        out = conv2d(Tensor(x), Tensor(w)).data
+        expected = np.einsum("nchw,oc->nohw", x, w[:, :, 0, 0])
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_gradient_wrt_input_weight_and_bias(self, rng):
+        x0 = rng.normal(size=(2, 3, 6, 6))
+        w0 = rng.normal(size=(4, 3, 3, 3))
+        b0 = rng.normal(size=(4,))
+        x = Tensor(x0.copy(), requires_grad=True)
+        w = Tensor(w0.copy(), requires_grad=True)
+        b = Tensor(b0.copy(), requires_grad=True)
+        probe = rng.normal(size=(2, 4, 3, 3))
+        conv2d(x, w, b, stride=2, padding=1).backward(probe)
+
+        def scalar_x(a):
+            return float((conv2d(Tensor(a), Tensor(w0), Tensor(b0), stride=2, padding=1).data * probe).sum())
+
+        def scalar_w(a):
+            return float((conv2d(Tensor(x0), Tensor(a), Tensor(b0), stride=2, padding=1).data * probe).sum())
+
+        def scalar_b(a):
+            return float((conv2d(Tensor(x0), Tensor(w0), Tensor(a), stride=2, padding=1).data * probe).sum())
+
+        assert relative_error(x.grad, numerical_gradient(scalar_x, x0.copy())) < TOL
+        assert relative_error(w.grad, numerical_gradient(scalar_w, w0.copy())) < TOL
+        assert relative_error(b.grad, numerical_gradient(scalar_b, b0.copy())) < TOL
+
+
+class TestPooling:
+    def test_max_pool_forward(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = max_pool2d(Tensor(x), 2).data
+        np.testing.assert_allclose(out[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_avg_pool_forward(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = avg_pool2d(Tensor(x), 2).data
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_max_pool_gradient_goes_to_argmax(self):
+        x = Tensor(np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4), requires_grad=True)
+        max_pool2d(x, 2).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        np.testing.assert_allclose(x.grad[0, 0], expected)
+
+    def test_avg_pool_gradient_uniform(self):
+        x = Tensor(np.ones((1, 1, 4, 4)), requires_grad=True)
+        avg_pool2d(x, 2).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 4, 4), 0.25))
+
+    def test_global_avg_pool_shape_and_gradient(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 5, 5)), requires_grad=True)
+        out = global_avg_pool2d(x)
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 3, 5, 5), 1.0 / 25.0))
+
+
+class TestConvTranspose:
+    def test_output_shape_matches_request(self, rng):
+        adjoint = rng.normal(size=(2, 4, 8, 8))
+        kernel = rng.normal(size=(4, 3, 1, 1))
+        out = conv_transpose2d_numpy(adjoint, kernel, stride=1, padding=0, output_size=(8, 8))
+        assert out.shape == (2, 3, 8, 8)
+
+    def test_upsamples_spatially_with_stride(self, rng):
+        adjoint = rng.normal(size=(1, 2, 4, 4))
+        kernel = rng.normal(size=(2, 3, 2, 2))
+        out = conv_transpose2d_numpy(adjoint, kernel, stride=2, padding=0)
+        assert out.shape == (1, 3, 8, 8)
+
+    def test_is_adjoint_of_conv2d(self, rng):
+        """conv_transpose(w) must be the adjoint of conv2d(w): <conv(x), y> == <x, convT(y)>."""
+        x = rng.normal(size=(1, 3, 6, 6))
+        w = rng.normal(size=(4, 3, 3, 3))
+        y = rng.normal(size=(1, 4, 6, 6))
+        forward = conv2d(Tensor(x), Tensor(w), None, stride=1, padding=1).data
+        backward = conv_transpose2d_numpy(y, w, stride=1, padding=1, output_size=(6, 6))
+        assert float((forward * y).sum()) == pytest.approx(float((x * backward).sum()), rel=1e-10)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            conv_transpose2d_numpy(rng.normal(size=(1, 2, 4, 4)), rng.normal(size=(3, 1, 2, 2)))

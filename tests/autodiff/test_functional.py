@@ -1,0 +1,153 @@
+"""Tests for the differentiable functions in repro.autodiff.functional."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    Tensor,
+    cross_entropy,
+    dropout,
+    gelu,
+    log_softmax,
+    margin_loss,
+    mse_loss,
+    nll_loss,
+    numerical_gradient,
+    relative_error,
+    relu,
+    sigmoid,
+    softmax,
+)
+
+TOL = 1e-6
+
+
+def _grad_check(build, x0, tol=TOL):
+    probe = {}
+
+    def scalar(a):
+        out = build(Tensor(a))
+        if "p" not in probe:
+            probe["p"] = np.random.default_rng(3).normal(size=out.shape)
+        return float((out.data * probe["p"]).sum())
+
+    t = Tensor(x0.copy(), requires_grad=True)
+    out = build(t)
+    if "p" not in probe:
+        probe["p"] = np.random.default_rng(3).normal(size=out.shape)
+    out.backward(probe["p"])
+    numeric = numerical_gradient(scalar, x0.copy())
+    assert relative_error(t.grad, numeric) < tol
+
+
+class TestActivations:
+    @pytest.mark.parametrize(
+        "fn", [relu, sigmoid, gelu, lambda t: softmax(t, axis=-1), lambda t: log_softmax(t, axis=-1)],
+        ids=["relu", "sigmoid", "gelu", "softmax", "log_softmax"],
+    )
+    def test_gradients(self, fn, rng):
+        _grad_check(fn, rng.normal(size=(4, 6)))
+
+    def test_relu_forward_values(self):
+        out = relu(Tensor(np.array([-1.0, 0.0, 2.0])))
+        np.testing.assert_allclose(out.data, [0.0, 0.0, 2.0])
+
+    def test_sigmoid_range(self, rng):
+        out = sigmoid(Tensor(rng.normal(size=(10,)) * 10))
+        assert np.all(out.data > 0.0) and np.all(out.data < 1.0)
+
+    def test_gelu_matches_definition_at_zero(self):
+        assert gelu(Tensor(np.zeros(3))).data == pytest.approx(np.zeros(3))
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        out = softmax(Tensor(rng.normal(size=(5, 7)) * 10), axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(5), atol=1e-12)
+
+    def test_softmax_numerically_stable_for_large_logits(self):
+        out = softmax(Tensor(np.array([[1000.0, 1000.0, -1000.0]])), axis=-1)
+        assert np.isfinite(out.data).all()
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = rng.normal(size=(3, 5))
+        a = log_softmax(Tensor(x), axis=-1).data
+        b = np.log(softmax(Tensor(x), axis=-1).data)
+        np.testing.assert_allclose(a, b, atol=1e-10)
+
+
+class TestLosses:
+    def test_cross_entropy_gradient(self, rng):
+        labels = rng.integers(0, 6, size=5)
+        _grad_check(lambda t: cross_entropy(t, labels, reduction="sum"), rng.normal(size=(5, 6)))
+
+    def test_cross_entropy_perfect_prediction_is_small(self):
+        logits = np.full((2, 3), -20.0)
+        logits[0, 1] = 20.0
+        logits[1, 2] = 20.0
+        loss = cross_entropy(Tensor(logits), np.array([1, 2]))
+        assert float(loss.data) < 1e-6
+
+    def test_cross_entropy_reductions_consistent(self, rng):
+        logits = rng.normal(size=(4, 5))
+        labels = rng.integers(0, 5, size=4)
+        mean = float(cross_entropy(Tensor(logits), labels, reduction="mean").data)
+        total = float(cross_entropy(Tensor(logits), labels, reduction="sum").data)
+        per_sample = cross_entropy(Tensor(logits), labels, reduction="none").data
+        assert total == pytest.approx(mean * 4)
+        assert per_sample.shape == (4,)
+        assert total == pytest.approx(per_sample.sum())
+
+    def test_nll_rejects_unknown_reduction(self, rng):
+        with pytest.raises(ValueError):
+            nll_loss(log_softmax(Tensor(rng.normal(size=(2, 3)))), np.array([0, 1]), reduction="bogus")
+
+    def test_margin_loss_gradient(self, rng):
+        labels = rng.integers(0, 5, size=6)
+        _grad_check(lambda t: margin_loss(t, labels, confidence=0.3), rng.normal(size=(6, 5)))
+
+    def test_margin_loss_value_for_confident_correct_prediction(self):
+        logits = np.array([[10.0, -10.0]])
+        loss = margin_loss(Tensor(logits), np.array([0]), confidence=5.0)
+        assert float(loss.data) == pytest.approx(-5.0)
+
+    def test_margin_loss_positive_when_misclassified(self):
+        logits = np.array([[0.0, 3.0]])
+        loss = margin_loss(Tensor(logits), np.array([0]), confidence=0.0)
+        assert float(loss.data) == pytest.approx(3.0)
+
+    def test_mse_loss_values_and_gradient(self, rng):
+        target = rng.normal(size=(3, 2))
+        _grad_check(lambda t: mse_loss(t, target, reduction="sum"), rng.normal(size=(3, 2)))
+        pred = Tensor(target.copy())
+        assert float(mse_loss(pred, target).data) == pytest.approx(0.0)
+
+    def test_mse_rejects_unknown_reduction(self):
+        with pytest.raises(ValueError):
+            mse_loss(Tensor(np.ones(3)), np.ones(3), reduction="bogus")
+
+
+class TestDropout:
+    def test_identity_in_eval_mode(self, rng):
+        x = Tensor(rng.normal(size=(4, 4)))
+        out = dropout(x, rate=0.5, rng=rng, training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_identity_with_zero_rate(self, rng):
+        x = Tensor(rng.normal(size=(4, 4)))
+        out = dropout(x, rate=0.0, rng=rng, training=True)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_preserves_expectation(self, rng):
+        x = Tensor(np.ones((200, 200)))
+        out = dropout(x, rate=0.3, rng=rng, training=True)
+        assert float(out.data.mean()) == pytest.approx(1.0, abs=0.05)
+
+    def test_gradient_masked_like_forward(self, rng):
+        x = Tensor(np.ones((50, 50)), requires_grad=True)
+        out = dropout(x, rate=0.5, rng=np.random.default_rng(0), training=True)
+        out.sum().backward()
+        # Positions dropped in the forward pass must receive zero gradient.
+        dropped = out.data == 0.0
+        assert np.all(x.grad[dropped] == 0.0)
+        assert np.all(x.grad[~dropped] > 0.0)

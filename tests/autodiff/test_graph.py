@@ -1,0 +1,131 @@
+"""Tests for the computational-graph snapshot used by PELTA's Alg. 1."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autodiff import GraphSnapshot, ShieldRegion, Tensor, shield_scope
+from repro.autodiff.functional import relu
+
+
+def _small_graph():
+    """Build x -> (x*W) -> relu -> sum with a parameter leaf."""
+    x = Tensor(np.ones((2, 3)), requires_grad=True, is_input=True, name="x")
+    w = Tensor(np.ones((3, 4)), requires_grad=True, is_parameter=True, name="w")
+    hidden = x @ w
+    activated = relu(hidden)
+    loss = activated.sum()
+    return x, w, hidden, activated, loss
+
+
+class TestGraphSnapshot:
+    def test_contains_all_ancestors(self):
+        x, w, hidden, activated, loss = _small_graph()
+        graph = GraphSnapshot(loss)
+        for tensor in (x, w, hidden, activated, loss):
+            assert tensor.node_id in graph
+
+    def test_topological_order(self):
+        x, w, hidden, activated, loss = _small_graph()
+        graph = GraphSnapshot(loss)
+        ids = [node.node_id for node in graph.nodes()]
+        assert ids.index(x.node_id) < ids.index(hidden.node_id) < ids.index(loss.node_id)
+
+    def test_leaves_inputs_parameters(self):
+        x, w, hidden, activated, loss = _small_graph()
+        graph = GraphSnapshot(loss)
+        leaf_ids = {node.node_id for node in graph.leaves()}
+        assert leaf_ids == {x.node_id, w.node_id}
+        assert [node.node_id for node in graph.inputs()] == [x.node_id]
+        assert [node.node_id for node in graph.parameters()] == [w.node_id]
+
+    def test_transforms_excludes_leaves(self):
+        x, w, hidden, activated, loss = _small_graph()
+        graph = GraphSnapshot(loss)
+        transform_ids = {node.node_id for node in graph.transforms()}
+        assert x.node_id not in transform_ids
+        assert hidden.node_id in transform_ids
+
+    def test_parents_and_children(self):
+        x, w, hidden, activated, loss = _small_graph()
+        graph = GraphSnapshot(loss)
+        parent_ids = {node.node_id for node in graph.parents(hidden.node_id)}
+        assert parent_ids == {x.node_id, w.node_id}
+        child_ids = {node.node_id for node in graph.children(hidden.node_id)}
+        assert child_ids == {activated.node_id}
+
+    def test_ancestors_and_descendants(self):
+        x, w, hidden, activated, loss = _small_graph()
+        graph = GraphSnapshot(loss)
+        assert x.node_id in graph.ancestors(loss.node_id)
+        assert loss.node_id in graph.descendants(x.node_id)
+        assert loss.node_id not in graph.ancestors(x.node_id)
+
+    def test_depth_from_inputs(self):
+        x, w, hidden, activated, loss = _small_graph()
+        graph = GraphSnapshot(loss)
+        depths = graph.depth_from_inputs()
+        assert depths[x.node_id] == 0
+        assert depths[hidden.node_id] == 1
+        assert depths[activated.node_id] == 2
+        assert depths[loss.node_id] == 3
+        assert w.node_id not in depths  # parameters are not reachable from inputs
+
+    def test_node_metadata(self):
+        x, w, hidden, activated, loss = _small_graph()
+        graph = GraphSnapshot(loss)
+        node = graph.node(hidden.node_id)
+        assert node.op == "matmul"
+        assert node.shape == (2, 4)
+        assert node.is_transform
+        assert node.nbytes == hidden.nbytes
+
+    def test_len_matches_number_of_nodes(self):
+        *_, loss = _small_graph()
+        graph = GraphSnapshot(loss)
+        assert len(graph) == len(graph.nodes())
+
+
+class TestShieldScope:
+    def test_tensors_created_inside_scope_are_tagged(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True, is_input=True)
+        with shield_scope(name="stem") as region:
+            hidden = x * 2.0
+        outside = hidden + 1.0
+        assert hidden.shielded
+        assert not outside.shielded
+        assert hidden in region.tensors
+
+    def test_region_byte_accounting(self):
+        region = ShieldRegion("r")
+        leaf = Tensor(np.ones((4, 4)), requires_grad=True)
+        with shield_scope(region):
+            value = leaf * 2.0
+        # The region holds the op output (and the scalar constant); gradients
+        # add one extra copy of every grad-requiring tensor.
+        assert region.nbytes(include_gradients=False) >= value.nbytes
+        assert (
+            region.nbytes(include_gradients=True)
+            >= region.nbytes(include_gradients=False) + value.nbytes
+        )
+
+    def test_nested_scopes_register_in_innermost(self):
+        outer = ShieldRegion("outer")
+        inner = ShieldRegion("inner")
+        with shield_scope(outer):
+            with shield_scope(inner):
+                tensor = Tensor(np.ones(3)) * 2.0
+        assert tensor in inner.tensors
+        assert tensor not in outer.tensors
+
+    def test_graph_records_shield_flags(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True, is_input=True)
+        with shield_scope():
+            hidden = x * 3.0
+        loss = hidden.sum()
+        graph = GraphSnapshot(loss)
+        assert graph.node(hidden.node_id).shielded
+        assert not graph.node(loss.node_id).shielded
+        assert hidden.node_id in graph.shielded_ids()
+        assert loss.node_id not in graph.shielded_ids()

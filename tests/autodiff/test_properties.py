@@ -1,0 +1,108 @@
+"""Hypothesis property-based tests for the autodiff engine."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.autodiff import Tensor, cross_entropy, softmax, unbroadcast
+
+_FINITE = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+def _arrays(max_dims: int = 3, max_side: int = 5):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, max_side=max_side),
+        elements=_FINITE,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(_arrays())
+def test_addition_gradient_is_ones(values):
+    tensor = Tensor(values, requires_grad=True)
+    (tensor + 1.0).sum().backward()
+    np.testing.assert_allclose(tensor.grad, np.ones_like(values))
+
+
+@settings(max_examples=40, deadline=None)
+@given(_arrays(), st.floats(min_value=-3.0, max_value=3.0, allow_nan=False))
+def test_scalar_multiplication_gradient(values, scale):
+    tensor = Tensor(values, requires_grad=True)
+    (tensor * scale).sum().backward()
+    np.testing.assert_allclose(tensor.grad, np.full_like(values, scale), atol=1e-12)
+
+@settings(max_examples=40, deadline=None)
+@given(_arrays())
+def test_sum_then_backward_matches_shape(values):
+    tensor = Tensor(values, requires_grad=True)
+    tensor.sum().backward()
+    assert tensor.grad.shape == values.shape
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 6), st.integers(2, 6)),
+        elements=_FINITE,
+    )
+)
+def test_softmax_outputs_are_probabilities(logits):
+    out = softmax(Tensor(logits), axis=-1).data
+    assert np.all(out >= 0.0)
+    np.testing.assert_allclose(out.sum(axis=-1), np.ones(len(logits)), atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 6), st.integers(2, 6)),
+        elements=_FINITE,
+    ),
+    st.data(),
+)
+def test_cross_entropy_is_non_negative_and_finite(logits, data):
+    labels = data.draw(
+        arrays(dtype=np.int64, shape=(logits.shape[0],), elements=st.integers(0, logits.shape[1] - 1))
+    )
+    loss = cross_entropy(Tensor(logits, requires_grad=True), labels)
+    assert np.isfinite(float(loss.data))
+    assert float(loss.data) >= 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(_arrays(max_dims=2), st.integers(min_value=1, max_value=4))
+def test_unbroadcast_inverts_broadcasting(values, repeat):
+    """Summing a broadcast gradient must equal scaling the original gradient."""
+    expanded = np.broadcast_to(values, (repeat,) + values.shape)
+    reduced = unbroadcast(np.array(expanded), values.shape)
+    np.testing.assert_allclose(reduced, values * repeat, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(dtype=np.float64, shape=st.tuples(st.integers(1, 4), st.integers(1, 4)), elements=_FINITE),
+    arrays(dtype=np.float64, shape=st.tuples(st.integers(1, 4), st.integers(1, 4)), elements=_FINITE),
+)
+def test_elementwise_multiplication_commutes(a, b):
+    if a.shape != b.shape:
+        return
+    left = (Tensor(a) * Tensor(b)).data
+    right = (Tensor(b) * Tensor(a)).data
+    np.testing.assert_allclose(left, right)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(dtype=np.float64, shape=st.tuples(st.integers(2, 5), st.integers(2, 5)), elements=_FINITE)
+)
+def test_gradients_are_always_finite(values):
+    tensor = Tensor(values, requires_grad=True)
+    out = softmax(tensor.tanh() * 2.0, axis=-1).sum()
+    out.backward()
+    assert np.isfinite(tensor.grad).all()

@@ -1,0 +1,117 @@
+"""Shared fixtures for the test suite.
+
+Every fixture is deliberately tiny (small images, few samples, shallow
+models) so that the whole suite runs in a couple of minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticImageConfig, SyntheticImageDataset
+from repro.models.simple import MLPClassifier, SimpleCNN, SimpleCNNConfig
+from repro.models.vit import ViTConfig, VisionTransformer
+from repro.nn.trainer import fit_classifier
+from repro.utils.rng import set_global_seed
+
+
+@pytest.fixture(autouse=True)
+def _seeded():
+    """Reset the global RNG registry before every test for reproducibility."""
+    set_global_seed(1234)
+    yield
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A test-local random generator."""
+    return np.random.default_rng(7)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> SyntheticImageDataset:
+    """A 4-class dataset of 3x16x16 images, small enough to train in seconds."""
+    return SyntheticImageDataset(
+        SyntheticImageConfig(
+            name="tiny",
+            num_classes=4,
+            image_size=16,
+            channels=3,
+            train_per_class=24,
+            test_per_class=10,
+            prototype_resolution=4,
+        )
+    )
+
+
+def _make_tiny_cnn(num_classes: int = 4, image_size: int = 16) -> SimpleCNN:
+    return SimpleCNN(
+        SimpleCNNConfig(
+            in_channels=3, num_classes=num_classes, widths=(8, 16), image_size=image_size
+        )
+    )
+
+
+def _make_tiny_vit(num_classes: int = 4, image_size: int = 16) -> VisionTransformer:
+    return VisionTransformer(
+        ViTConfig(
+            image_size=image_size,
+            patch_size=4,
+            in_channels=3,
+            num_classes=num_classes,
+            dim=16,
+            depth=2,
+            num_heads=2,
+        )
+    )
+
+
+@pytest.fixture
+def tiny_cnn_factory():
+    """Factory building an untrained tiny CNN (used by FL tests)."""
+    return _make_tiny_cnn
+
+
+@pytest.fixture
+def tiny_vit_factory():
+    """Factory building an untrained tiny ViT."""
+    return _make_tiny_vit
+
+
+@pytest.fixture(scope="session")
+def trained_tiny_cnn(tiny_dataset) -> SimpleCNN:
+    """A tiny CNN trained on the tiny dataset (shared across tests)."""
+    set_global_seed(99)
+    model = _make_tiny_cnn()
+    fit_classifier(
+        model,
+        tiny_dataset.train_images,
+        tiny_dataset.train_labels,
+        epochs=4,
+        batch_size=24,
+        lr=3e-3,
+    )
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_tiny_vit(tiny_dataset) -> VisionTransformer:
+    """A tiny ViT trained on the tiny dataset (shared across tests)."""
+    set_global_seed(98)
+    model = _make_tiny_vit()
+    fit_classifier(
+        model,
+        tiny_dataset.train_images,
+        tiny_dataset.train_labels,
+        epochs=4,
+        batch_size=24,
+        lr=3e-3,
+    )
+    return model
+
+
+@pytest.fixture
+def small_batch(tiny_dataset) -> tuple[np.ndarray, np.ndarray]:
+    """A small labelled batch from the tiny dataset's test split."""
+    return tiny_dataset.test_images[:8], tiny_dataset.test_labels[:8]

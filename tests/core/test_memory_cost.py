@@ -1,0 +1,83 @@
+"""Tests for the Table I enclave-memory estimators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.memory_cost import (
+    estimate_paper_model,
+    format_bytes,
+    paper_table1,
+)
+from repro.models.paper_configs import PAPER_MODEL_SPECS
+
+_MB = 1024 * 1024
+_KB = 1024
+
+
+class TestPaperEstimates:
+    def test_all_table1_rows_are_estimated(self):
+        rows = paper_table1()
+        assert {row["model"] for row in rows} == {spec.name for spec in PAPER_MODEL_SPECS.values()}
+
+    def test_vit_shield_is_megabytes_and_bit_shield_is_kilobytes(self):
+        """The ordering of Table I must hold: ViT shields cost MBs, BiT shields KBs."""
+        vit = estimate_paper_model("vit_l16")
+        bit = estimate_paper_model("bit_m_r101x3")
+        assert vit.parameters_only_bytes > 1 * _MB
+        assert bit.parameters_only_bytes < 1 * _MB
+        assert vit.worst_case_bytes > 10 * bit.parameters_only_bytes
+
+    def test_vit_l16_larger_than_vit_b16(self):
+        assert (
+            estimate_paper_model("vit_l16").worst_case_bytes
+            > estimate_paper_model("vit_b16").worst_case_bytes
+        )
+
+    def test_bit_r152x4_larger_than_r101x3(self):
+        assert (
+            estimate_paper_model("bit_m_r152x4").parameters_only_bytes
+            > estimate_paper_model("bit_m_r101x3").parameters_only_bytes
+        )
+
+    def test_worst_case_matches_paper_order_of_magnitude(self):
+        """Our estimate should be within ~4x of the paper's published value."""
+        for key, spec in PAPER_MODEL_SPECS.items():
+            estimate = estimate_paper_model(key)
+            ours = estimate.worst_case_bytes if "vit" in key else estimate.parameters_only_bytes
+            ratio = ours / spec.paper_tee_bytes
+            assert 0.25 < ratio < 4.0, f"{key}: ratio {ratio}"
+
+    def test_ensemble_shield_fits_trustzone_budget(self):
+        """Table I: the ensemble shield (ViT-L/16 + BiT-M-R101x3) stays < 30 MB."""
+        total = (
+            estimate_paper_model("vit_l16").worst_case_bytes
+            + estimate_paper_model("bit_m_r101x3").worst_case_bytes
+        )
+        assert total < 30 * _MB
+
+    def test_shielded_portion_is_a_small_fraction(self):
+        for key in PAPER_MODEL_SPECS:
+            estimate = estimate_paper_model(key)
+            assert estimate.shielded_portion < 0.05
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            estimate_paper_model("unknown_model")
+
+
+class TestFormatting:
+    def test_format_bytes_units(self):
+        assert format_bytes(512 * _KB) == "512.00 KB"
+        assert format_bytes(2 * _MB) == "2.00 MB"
+
+    def test_table_rows_have_expected_fields(self):
+        row = paper_table1()[0]
+        assert {
+            "model",
+            "shielded_portion",
+            "paper_shielded_portion",
+            "parameters_only_bytes",
+            "worst_case_bytes",
+            "paper_tee_bytes",
+        } <= set(row)

@@ -1,0 +1,117 @@
+"""End-to-end tests of the experiment harness on unit-test-sized configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    SHIELD_SETTINGS,
+    ExperimentConfig,
+    prepare_dataset,
+    run_ensemble_benchmark,
+    run_individual_benchmark,
+    saga_sample_study,
+    train_defender,
+)
+
+_TINY = dict(
+    image_size=16,
+    train_per_class=24,
+    test_per_class=6,
+    train_epochs=6,
+    train_lr=5e-3,
+    eval_samples=10,
+    attack_batch_size=10,
+    max_attack_steps=4,
+    apgd_steps=4,
+    saga_steps=4,
+    epsilon_scale=2.0,
+)
+
+
+class TestExperimentConfig:
+    def test_resolved_num_classes_defaults(self):
+        assert ExperimentConfig(dataset="cifar10").resolved_num_classes() == 10
+        assert ExperimentConfig(dataset="cifar100").resolved_num_classes() == 100
+        assert ExperimentConfig(dataset="imagenet").resolved_num_classes() == 20
+        assert ExperimentConfig(dataset="cifar10", num_classes=10).resolved_num_classes() == 10
+
+    def test_attack_suite_config_propagates_scale(self):
+        config = ExperimentConfig(epsilon_scale=2.0, max_attack_steps=5)
+        suite_config = config.attack_suite_config()
+        assert suite_config.epsilon_scale == 2.0
+        assert suite_config.max_steps == 5
+
+    def test_prepare_dataset_respects_num_classes(self):
+        config = ExperimentConfig(dataset="imagenet", num_classes=6, train_per_class=2, test_per_class=1)
+        dataset = prepare_dataset(config)
+        assert dataset.num_classes == 6
+
+    def test_cifar10_class_count_is_fixed(self):
+        with pytest.raises(ValueError):
+            prepare_dataset(ExperimentConfig(dataset="cifar10", num_classes=7))
+
+
+@pytest.mark.slow
+class TestIndividualBenchmark:
+    def test_table3_shape_reproduces(self):
+        """Unit-test-scale Table III: shielding must help against PGD."""
+        config = ExperimentConfig(
+            dataset="cifar10",
+            models=("simple_cnn",),
+            attacks=("fgsm", "pgd"),
+            **_TINY,
+        )
+        results = run_individual_benchmark(config)
+        assert len(results) == 1
+        result = results[0]
+        assert result.clean_accuracy > 0.6
+        assert set(result.robust) == {"fgsm", "pgd"}
+        for attack in result.robust.values():
+            assert 0.0 <= attack["unshielded"] <= 1.0
+            assert 0.0 <= attack["shielded"] <= 1.0
+        # The headline claim: shielding does not hurt and typically helps.
+        assert result.robust["pgd"]["shielded"] >= result.robust["pgd"]["unshielded"]
+
+
+@pytest.mark.slow
+class TestEnsembleBenchmark:
+    def test_table4_structure_and_shape(self):
+        config = ExperimentConfig(
+            dataset="cifar10",
+            ensemble_vit="vit_b32",
+            ensemble_cnn="simple_cnn",
+            **_TINY,
+        )
+        result = run_ensemble_benchmark(config)
+        assert set(result.robust) == set(SHIELD_SETTINGS)
+        for setting in SHIELD_SETTINGS:
+            for row in ("vit", "cnn", "ensemble"):
+                assert 0.0 <= result.robust[setting][row] <= 1.0
+        assert result.eval_samples > 0
+        # Shielding both members must not be worse than shielding nothing.
+        assert result.robust["both"]["ensemble"] >= result.robust["none"]["ensemble"]
+
+    def test_fig4_sample_study(self):
+        config = ExperimentConfig(
+            dataset="cifar10",
+            ensemble_vit="vit_b32",
+            ensemble_cnn="simple_cnn",
+            **_TINY,
+        )
+        study = saga_sample_study(config, sample_index=0)
+        assert set(study.settings) == set(SHIELD_SETTINGS)
+        for outcome in study.settings.values():
+            assert outcome["linf"] <= 0.031 * 2.0 + 1e-9
+            assert isinstance(outcome["attack_success"], bool)
+
+
+@pytest.mark.slow
+class TestTrainDefender:
+    def test_train_defender_reaches_reasonable_accuracy(self):
+        config = ExperimentConfig(dataset="cifar10", **_TINY)
+        dataset = prepare_dataset(config)
+        model = train_defender("simple_cnn", dataset, config)
+        assert model.accuracy(dataset.test_images, dataset.test_labels) > 0.6
+        assert not model.training

@@ -1,0 +1,100 @@
+"""Tests for the FL aggregation rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.fl import ModelUpdate, coordinate_median, fedavg, get_aggregation_rule, trimmed_mean
+
+
+def _update(client_id: str, value: float, num_samples: int = 10) -> ModelUpdate:
+    return ModelUpdate(
+        client_id=client_id,
+        round_index=0,
+        num_samples=num_samples,
+        state={"w": np.full((2, 2), value), "b": np.full(2, value)},
+    )
+
+
+class TestFedAvg:
+    def test_equal_weights_give_plain_mean(self):
+        aggregated = fedavg([_update("a", 1.0), _update("b", 3.0)])
+        np.testing.assert_allclose(aggregated["w"], 2.0)
+        np.testing.assert_allclose(aggregated["b"], 2.0)
+
+    def test_sample_count_weighting(self):
+        aggregated = fedavg([_update("a", 0.0, num_samples=30), _update("b", 4.0, num_samples=10)])
+        np.testing.assert_allclose(aggregated["w"], 1.0)
+
+    def test_single_update_is_identity(self):
+        update = _update("a", 5.0)
+        aggregated = fedavg([update])
+        np.testing.assert_allclose(aggregated["w"], update.state["w"])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            fedavg([])
+
+    def test_zero_total_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fedavg([_update("a", 1.0, num_samples=0)])
+
+    def test_mismatching_keys_rejected(self):
+        good = _update("a", 1.0)
+        bad = ModelUpdate(client_id="b", round_index=0, num_samples=5, state={"other": np.ones(2)})
+        with pytest.raises(ValueError):
+            fedavg([good, bad])
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        arrays(dtype=np.float64, shape=(3,), elements=st.floats(-5, 5)),
+        arrays(dtype=np.float64, shape=(3,), elements=st.floats(-5, 5)),
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=50),
+    )
+    def test_property_weighted_mean_between_extremes(self, a, b, na, nb):
+        """FedAvg output must lie coordinate-wise between the two client values."""
+        updates = [
+            ModelUpdate(client_id="a", round_index=0, num_samples=na, state={"w": a}),
+            ModelUpdate(client_id="b", round_index=0, num_samples=nb, state={"w": b}),
+        ]
+        aggregated = fedavg(updates)["w"]
+        lower = np.minimum(a, b) - 1e-9
+        upper = np.maximum(a, b) + 1e-9
+        assert np.all(aggregated >= lower) and np.all(aggregated <= upper)
+
+
+class TestRobustRules:
+    def test_median_ignores_a_single_outlier(self):
+        updates = [_update("a", 1.0), _update("b", 1.2), _update("evil", 100.0)]
+        aggregated = coordinate_median(updates)
+        assert aggregated["w"].max() <= 1.2
+
+    def test_trimmed_mean_discards_extremes(self):
+        updates = [
+            _update("a", 1.0),
+            _update("b", 1.0),
+            _update("c", 1.0),
+            _update("d", 1.0),
+            _update("evil", 1000.0),
+        ]
+        aggregated = trimmed_mean(updates, trim_fraction=0.2)
+        assert aggregated["w"].max() < 10.0
+
+    def test_trimmed_mean_validates_fraction(self):
+        with pytest.raises(ValueError):
+            trimmed_mean([_update("a", 1.0)], trim_fraction=0.6)
+
+    def test_rule_lookup(self):
+        assert get_aggregation_rule("fedavg") is fedavg
+        assert get_aggregation_rule("median") is coordinate_median
+        with pytest.raises(KeyError):
+            get_aggregation_rule("krum")
+
+    def test_update_nbytes(self):
+        update = _update("a", 1.0)
+        assert update.nbytes == update.state["w"].nbytes + update.state["b"].nbytes

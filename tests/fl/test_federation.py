@@ -1,0 +1,181 @@
+"""Tests for the FL server, clients (honest and compromised) and orchestration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import PGD
+from repro.fl import (
+    ClientConfig,
+    CompromisedClient,
+    FLServer,
+    FederatedRunConfig,
+    FederatedTrainer,
+    GlobalModelBroadcast,
+    HonestClient,
+    add_backdoor_trigger,
+    build_federation,
+    fedavg,
+    flip_labels,
+    poison_with_backdoor,
+)
+from repro.models.simple import MLPClassifier
+
+
+def _mlp_factory():
+    return MLPClassifier(input_dim=12, num_classes=3, hidden_dim=12, input_shape=(3, 2, 2))
+
+
+def _toy_federated_data(rng, samples_per_class: int = 30):
+    """A linearly separable 3-class problem on 3x2x2 'images'."""
+    prototypes = np.array([
+        [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0],
+    ])
+    images, labels = [], []
+    for class_index in range(3):
+        base = np.zeros((samples_per_class, 3, 2, 2))
+        base += prototypes[class_index][None, :, None, None]
+        base += rng.normal(scale=0.1, size=base.shape)
+        images.append(np.clip(base, 0.0, 1.0))
+        labels.append(np.full(samples_per_class, class_index, dtype=np.int64))
+    images = np.concatenate(images)
+    labels = np.concatenate(labels)
+    order = rng.permutation(len(labels))
+    return images[order], labels[order]
+
+
+class TestHonestClient:
+    def test_receive_installs_global_state(self, rng):
+        images, labels = _toy_federated_data(rng)
+        client = HonestClient("c0", _mlp_factory, images[:30], labels[:30])
+        reference = _mlp_factory()
+        client.receive(GlobalModelBroadcast(round_index=0, state=reference.state_dict()))
+        for (_, a), (_, b) in zip(client.model.named_parameters(), reference.named_parameters()):
+            np.testing.assert_allclose(a.data, b.data)
+
+    def test_local_update_reports_sample_count_and_trains(self, rng):
+        images, labels = _toy_federated_data(rng)
+        client = HonestClient(
+            "c0", _mlp_factory, images[:60], labels[:60],
+            config=ClientConfig(local_epochs=2, batch_size=16, learning_rate=0.05),
+        )
+        update = client.local_update(round_index=3)
+        assert update.client_id == "c0"
+        assert update.round_index == 3
+        assert update.num_samples == 60
+        assert set(update.state) == set(_mlp_factory().state_dict())
+        assert np.isfinite(update.train_loss)
+
+
+class TestServerAndTrainer:
+    def test_round_improves_global_accuracy(self, rng):
+        images, labels = _toy_federated_data(rng, samples_per_class=40)
+        server, clients = build_federation(
+            _mlp_factory, images, labels, num_clients=3,
+            client_config=ClientConfig(local_epochs=2, batch_size=16, learning_rate=0.05),
+        )
+        before = server.global_model.accuracy(images, labels)
+        trainer = FederatedTrainer(server, clients, FederatedRunConfig(num_rounds=3))
+        result = trainer.run(eval_images=images, eval_labels=labels)
+        assert len(result.rounds) == 3
+        assert result.final_accuracy > before
+        assert result.final_accuracy > 0.8
+
+    def test_client_sampling_fraction(self, rng):
+        images, labels = _toy_federated_data(rng)
+        server, clients = build_federation(_mlp_factory, images, labels, num_clients=4)
+        sampled = server.sample_clients(clients, fraction=0.5)
+        assert len(sampled) == 2
+        with pytest.raises(ValueError):
+            server.sample_clients(clients, fraction=0.0)
+
+    def test_aggregate_installs_fedavg_of_updates(self, rng):
+        images, labels = _toy_federated_data(rng)
+        server, clients = build_federation(_mlp_factory, images, labels, num_clients=2)
+        broadcast = server.broadcast()
+        updates = []
+        for client in clients:
+            client.receive(broadcast.copy())
+            updates.append(client.local_update(0))
+        server.aggregate(updates)
+        expected = fedavg(updates)
+        for name, parameter in server.global_model.named_parameters():
+            np.testing.assert_allclose(parameter.data, expected[name])
+
+    def test_round_result_records_compromised_clients(self, rng):
+        images, labels = _toy_federated_data(rng)
+        honest = HonestClient("h", _mlp_factory, images[:30], labels[:30])
+        compromised = CompromisedClient(
+            "evil", _mlp_factory, images[30:60], labels[30:60],
+            attack=PGD(epsilon=0.1, step_size=0.02, steps=2),
+        )
+        server = FLServer(_mlp_factory())
+        result = server.run_round([honest, compromised], eval_images=images, eval_labels=labels)
+        assert result.compromised_clients == ["evil"]
+        assert result.update_bytes > 0
+        assert server.round_index == 1
+
+
+class TestCompromisedClient:
+    def test_probe_in_full_whitebox_beats_shielded_probe(self, rng):
+        images, labels = _toy_federated_data(rng, samples_per_class=40)
+        config = ClientConfig(local_epochs=3, batch_size=16, learning_rate=0.08)
+        attack = PGD(epsilon=0.15, step_size=0.03, steps=8)
+
+        clear_client = CompromisedClient(
+            "clear", _mlp_factory, images, labels, attack=attack, config=config, shield_model=False
+        )
+        shielded_client = CompromisedClient(
+            "shielded", _mlp_factory, images, labels, attack=attack, config=config, shield_model=True
+        )
+        # Both clients first train their local copy so the attack has a real target.
+        clear_client.local_update(0)
+        shielded_client.model.load_state_dict(clear_client.model.state_dict())
+
+        clear_result = clear_client.probe_for_adversarial_examples(max_samples=24)
+        shielded_result = shielded_client.probe_for_adversarial_examples(max_samples=24)
+        assert clear_result.success_rate >= shielded_result.success_rate
+
+    def test_poisoning_relabels_part_of_the_local_dataset(self, rng):
+        images, labels = _toy_federated_data(rng)
+        client = CompromisedClient(
+            "evil", _mlp_factory, images[:40], labels[:40],
+            attack=PGD(epsilon=0.1, step_size=0.05, steps=1),
+            poison_target=0, poison_fraction=0.5,
+            config=ClientConfig(local_epochs=1, batch_size=16),
+        )
+        original_labels = client.labels.copy()
+        client.local_update(0)
+        assert (client.labels == 0).sum() >= (original_labels == 0).sum()
+
+
+class TestPoisoningHelpers:
+    def test_flip_labels_fraction(self):
+        labels = np.zeros(10, dtype=np.int64)
+        flipped = flip_labels(labels, num_classes=5, fraction=0.5)
+        assert (flipped != 0).sum() == 5
+
+    def test_flip_labels_validates_fraction(self):
+        with pytest.raises(ValueError):
+            flip_labels(np.zeros(4, dtype=np.int64), 2, fraction=1.5)
+
+    def test_backdoor_trigger_is_stamped(self, rng):
+        images = rng.uniform(size=(3, 3, 8, 8)) * 0.2
+        stamped = add_backdoor_trigger(images, trigger_size=2)
+        np.testing.assert_allclose(stamped[:, :, -2:, -2:], 1.0)
+
+    def test_backdoor_trigger_corners(self, rng):
+        images = np.zeros((1, 1, 4, 4))
+        assert add_backdoor_trigger(images, trigger_size=1, corner="top_left")[0, 0, 0, 0] == 1.0
+        with pytest.raises(ValueError):
+            add_backdoor_trigger(images, corner="middle")
+
+    def test_poison_with_backdoor_relabels(self, rng):
+        images = rng.uniform(size=(10, 3, 8, 8))
+        labels = np.arange(10) % 3 + 1
+        poisoned_images, poisoned_labels = poison_with_backdoor(
+            images, labels, target_class=0, fraction=0.4
+        )
+        assert (poisoned_labels == 0).sum() == 4
+        assert poisoned_images.shape == images.shape

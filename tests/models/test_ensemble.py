@@ -1,0 +1,65 @@
+"""Tests for the random-selection ensemble defender."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.ensemble import RandomSelectionEnsemble
+from repro.models.simple import MLPClassifier
+
+
+class _ConstantModel(MLPClassifier):
+    """A classifier that always predicts a fixed class (for routing tests)."""
+
+    def __init__(self, constant: int, num_classes: int = 3):
+        super().__init__(input_dim=4, num_classes=num_classes, hidden_dim=4, input_shape=(1, 2, 2))
+        self.constant = constant
+
+    def predict(self, inputs):  # type: ignore[override]
+        return np.full(len(inputs), self.constant, dtype=np.int64)
+
+
+class TestRandomSelectionEnsemble:
+    def test_requires_two_members(self):
+        with pytest.raises(ValueError):
+            RandomSelectionEnsemble([_ConstantModel(0)])
+
+    def test_selection_routing(self, rng):
+        ensemble = RandomSelectionEnsemble([_ConstantModel(0), _ConstantModel(1)])
+        inputs = rng.uniform(size=(6, 1, 2, 2))
+        selection = np.array([0, 1, 0, 1, 0, 1])
+        predictions = ensemble.predict(inputs, selection)
+        np.testing.assert_array_equal(predictions, selection)
+
+    def test_select_members_distribution(self):
+        ensemble = RandomSelectionEnsemble([_ConstantModel(0), _ConstantModel(1)])
+        selection = ensemble.select_members(400)
+        assert set(np.unique(selection)) <= {0, 1}
+        # Both members should be picked a non-trivial number of times.
+        assert 100 < selection.sum() < 300
+
+    def test_predict_per_member(self, rng):
+        ensemble = RandomSelectionEnsemble([_ConstantModel(0), _ConstantModel(2)])
+        per_member = ensemble.predict_per_member(rng.uniform(size=(5, 1, 2, 2)))
+        assert per_member.shape == (2, 5)
+        assert np.all(per_member[0] == 0)
+        assert np.all(per_member[1] == 2)
+
+    def test_accuracy_with_agreeing_members(self, rng):
+        ensemble = RandomSelectionEnsemble([_ConstantModel(1), _ConstantModel(1)])
+        inputs = rng.uniform(size=(10, 1, 2, 2))
+        labels = np.ones(10, dtype=np.int64)
+        assert ensemble.accuracy(inputs, labels) == 1.0
+
+    def test_accuracy_with_fixed_selection(self, rng):
+        ensemble = RandomSelectionEnsemble([_ConstantModel(0), _ConstantModel(1)])
+        inputs = rng.uniform(size=(4, 1, 2, 2))
+        labels = np.array([0, 0, 0, 0])
+        assert ensemble.accuracy(inputs, labels, selection=np.zeros(4, dtype=int)) == 1.0
+        assert ensemble.accuracy(inputs, labels, selection=np.ones(4, dtype=int)) == 0.0
+
+    def test_member_names(self):
+        ensemble = RandomSelectionEnsemble([_ConstantModel(0), _ConstantModel(1)])
+        assert ensemble.member_names() == ["_ConstantModel", "_ConstantModel"]
+        assert len(ensemble) == 2

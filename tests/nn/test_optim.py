@@ -1,0 +1,101 @@
+"""Tests for the SGD and Adam optimisers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn import SGD, Adam, Linear, Parameter
+from repro.nn.optim import Optimizer
+
+
+def _quadratic_step(parameter: Parameter) -> None:
+    """Populate the gradient of ``0.5 * ||p - 3||^2`` by hand."""
+    parameter.grad = parameter.data - 3.0
+
+
+class TestSGD:
+    def test_moves_towards_minimum(self):
+        parameter = Parameter(np.zeros(4))
+        optimizer = SGD([parameter], lr=0.1)
+        for _ in range(200):
+            _quadratic_step(parameter)
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, np.full(4, 3.0), atol=1e-3)
+
+    def test_momentum_accelerates_convergence(self):
+        plain = Parameter(np.zeros(1))
+        momentum = Parameter(np.zeros(1))
+        sgd_plain = SGD([plain], lr=0.05)
+        sgd_momentum = SGD([momentum], lr=0.05, momentum=0.9)
+        for _ in range(20):
+            _quadratic_step(plain)
+            sgd_plain.step()
+            _quadratic_step(momentum)
+            sgd_momentum.step()
+        assert abs(momentum.data[0] - 3.0) < abs(plain.data[0] - 3.0)
+
+    def test_weight_decay_shrinks_parameters(self):
+        parameter = Parameter(np.full(3, 10.0))
+        optimizer = SGD([parameter], lr=0.1, weight_decay=0.5)
+        parameter.grad = np.zeros(3)
+        optimizer.step()
+        assert np.all(np.abs(parameter.data) < 10.0)
+
+    def test_skips_parameters_without_gradients(self):
+        parameter = Parameter(np.ones(2))
+        optimizer = SGD([parameter], lr=0.1)
+        optimizer.step()  # no gradient: should be a no-op, not an error
+        np.testing.assert_allclose(parameter.data, np.ones(2))
+
+    def test_zero_grad(self):
+        parameter = Parameter(np.ones(2))
+        parameter.grad = np.ones(2)
+        SGD([parameter], lr=0.1).zero_grad()
+        assert parameter.grad is None
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_moves_towards_minimum(self):
+        parameter = Parameter(np.zeros(4))
+        optimizer = Adam([parameter], lr=0.1)
+        for _ in range(300):
+            _quadratic_step(parameter)
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, np.full(4, 3.0), atol=1e-2)
+
+    def test_reduces_loss_of_small_network(self, rng):
+        layer = Linear(4, 1)
+        optimizer = Adam(layer.parameters(), lr=0.02)
+        inputs = rng.normal(size=(64, 4))
+        targets = inputs @ np.array([[1.0], [-2.0], [0.5], [3.0]])
+
+        def loss_value() -> float:
+            prediction = layer(Tensor(inputs))
+            return float(((prediction.data - targets) ** 2).mean())
+
+        initial = loss_value()
+        for _ in range(250):
+            optimizer.zero_grad()
+            prediction = layer(Tensor(inputs))
+            diff = prediction - Tensor(targets)
+            (diff * diff).mean().backward()
+            optimizer.step()
+        assert loss_value() < 0.2 * initial
+
+    def test_weight_decay(self):
+        parameter = Parameter(np.full(2, 5.0))
+        optimizer = Adam([parameter], lr=0.1, weight_decay=1.0)
+        parameter.grad = np.zeros(2)
+        optimizer.step()
+        assert np.all(parameter.data < 5.0)
+
+    def test_base_class_step_not_implemented(self):
+        optimizer = Optimizer([Parameter(np.ones(1))])
+        with pytest.raises(NotImplementedError):
+            optimizer.step()

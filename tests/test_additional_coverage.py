@@ -1,0 +1,127 @@
+"""Additional cross-cutting coverage: harness utilities, upsamplers, enclaves.
+
+These tests close gaps that the per-module suites do not reach: the batched
+attack runner used by the Table III harness, the flat-adjoint upsampler, the
+SGX paging model, and a couple of defensive-behaviour checks on the public
+API.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    FGSM,
+    PGD,
+    RandomProjectionUpsampler,
+    RandomUniform,
+    make_attacker_view,
+)
+from repro.core import RestrictedWhiteBoxView, ShieldedModel
+from repro.eval import run_attack_in_batches
+from repro.eval.harness import ExperimentConfig
+from repro.models.simple import MLPClassifier, SimpleCNN, SimpleCNNConfig
+from repro.tee import SGXEnclave, TrustZoneEnclave
+
+
+def _tiny_cnn() -> SimpleCNN:
+    return SimpleCNN(SimpleCNNConfig(in_channels=3, num_classes=3, widths=(4, 8), image_size=8))
+
+
+class TestRunAttackInBatches:
+    def test_covers_every_sample_in_order(self, rng):
+        model = _tiny_cnn()
+        view = make_attacker_view(model)
+        images = rng.uniform(size=(7, 3, 8, 8))
+        labels = np.array([0, 1, 2, 0, 1, 2, 0])
+        adversarials = run_attack_in_batches(FGSM(epsilon=0.05), view, images, labels, batch_size=3)
+        assert adversarials.shape == images.shape
+        # FGSM perturbs every pixel by exactly epsilon (up to clipping).
+        assert np.abs(adversarials - images).max() <= 0.05 + 1e-12
+
+    def test_empty_input(self, rng):
+        model = _tiny_cnn()
+        view = make_attacker_view(model)
+        adversarials = run_attack_in_batches(
+            FGSM(epsilon=0.05), view, np.zeros((0, 3, 8, 8)), np.zeros(0, dtype=np.int64), 4
+        )
+        assert adversarials.shape[0] == 0
+
+    def test_batched_equals_single_batch_for_deterministic_attack(self, rng):
+        model = _tiny_cnn()
+        view = make_attacker_view(model)
+        images = rng.uniform(size=(6, 3, 8, 8))
+        labels = np.array([0, 1, 2, 0, 1, 2])
+        attack = PGD(epsilon=0.05, step_size=0.02, steps=3)
+        batched = run_attack_in_batches(attack, view, images, labels, batch_size=2)
+        single = run_attack_in_batches(attack, view, images, labels, batch_size=6)
+        np.testing.assert_allclose(batched, single)
+
+
+class TestFlatUpsamplerAndMlpShield:
+    def test_random_projection_shape_and_determinism(self, rng):
+        upsampler = RandomProjectionUpsampler(np.random.default_rng(3))
+        adjoint = rng.normal(size=(4, 10))
+        first = upsampler(adjoint, (4, 3, 4, 4))
+        second = upsampler(adjoint, (4, 3, 4, 4))
+        assert first.shape == (4, 3, 4, 4)
+        np.testing.assert_allclose(first, second)
+
+    def test_rejects_non_flat_adjoints(self, rng):
+        with pytest.raises(ValueError):
+            RandomProjectionUpsampler()(rng.normal(size=(1, 2, 3, 3)), (1, 3, 6, 6))
+
+    def test_shielded_mlp_gets_restricted_view_automatically(self, rng):
+        model = MLPClassifier(input_dim=27, num_classes=3, hidden_dim=8, input_shape=(3, 3, 3))
+        view = make_attacker_view(ShieldedModel(model))
+        assert isinstance(view, RestrictedWhiteBoxView)
+        gradient = view.gradient(rng.uniform(size=(2, 3, 3, 3)), np.array([0, 1]))
+        assert gradient.shape == (2, 3, 3, 3)
+
+
+class TestEnclaveVariantsWithShieldedModels:
+    def test_shielded_model_with_sgx_enclave(self, rng):
+        model = _tiny_cnn()
+        shielded = ShieldedModel(model, enclave=SGXEnclave(name="sgx-test"))
+        predictions = shielded.predict(rng.uniform(size=(3, 3, 8, 8)))
+        assert predictions.shape == (3,)
+        assert shielded.enclave.paging_penalty_us() == 0.0
+
+    def test_custom_trustzone_budget_is_respected(self):
+        from repro.tee import EnclaveMemoryError
+
+        model = _tiny_cnn()
+        tiny_enclave = TrustZoneEnclave(name="tiny", memory_limit_bytes=64)
+        with pytest.raises(EnclaveMemoryError):
+            ShieldedModel(model, enclave=tiny_enclave)
+
+    def test_two_shielded_models_do_not_share_enclaves(self):
+        first = ShieldedModel(_tiny_cnn())
+        second = ShieldedModel(_tiny_cnn())
+        assert first.enclave is not second.enclave
+        assert first.enclave.sealed_keys() == second.enclave.sealed_keys()
+
+
+class TestExperimentConfigDefaults:
+    def test_saga_alpha_override_defaults_to_balanced(self):
+        assert ExperimentConfig().saga_alpha_cnn == 0.5
+
+    def test_attacks_tuple_defaults_to_table3_suite(self):
+        assert ExperimentConfig().attacks == ("fgsm", "pgd", "mim", "cw", "apgd")
+
+    def test_upsampling_strategy_defaults_to_auto(self):
+        assert ExperimentConfig().upsampling_strategy == "auto"
+
+
+class TestRandomBaselineAgainstShieldedModel:
+    def test_random_attack_ignores_the_view_entirely(self, rng):
+        """The random baseline produces the same perturbation budget either way."""
+        model = _tiny_cnn()
+        images = rng.uniform(size=(4, 3, 8, 8))
+        labels = np.array([0, 1, 2, 0])
+        attack = RandomUniform(epsilon=0.1, rng=np.random.default_rng(5))
+        clear = attack.run(make_attacker_view(model), images, labels)
+        attack_again = RandomUniform(epsilon=0.1, rng=np.random.default_rng(5))
+        shielded = attack_again.run(make_attacker_view(ShieldedModel(model)), images, labels)
+        np.testing.assert_allclose(clear.adversarials, shielded.adversarials)
