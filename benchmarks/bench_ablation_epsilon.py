@@ -1,52 +1,24 @@
 """Ablation — perturbation budget sweep (shielded vs non-shielded defender).
 
-Table II fixes one ε per dataset; this ablation sweeps the l∞ budget around
-those values and reports robust accuracy of the same defender with and
-without the PELTA shield, showing that the protection gap persists across
-budgets rather than being an artefact of one operating point.
+Table II fixes one ε per dataset; the ``ablation_epsilon`` scenario sweeps
+the l∞ budget around those values and reports robust accuracy of the same
+defender with and without the PELTA shield, showing that the protection gap
+persists across budgets rather than being an artefact of one operating
+point.  The per-ε cells are independent and fan out in parallel.
 """
 
 from __future__ import annotations
 
-from benchmarks.conftest import bench_experiment_config, run_once
-from repro.attacks import PGD, make_attacker_view
-from repro.core import ShieldedModel
-from repro.eval import prepare_dataset, robust_accuracy, select_correctly_classified, train_defender
-
-_EPSILONS = (0.015, 0.031, 0.062)
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.eval import render_run
 
 
-def _run_sweep() -> list[dict]:
-    config = bench_experiment_config(dataset="cifar10", models=("vit_b16",))
-    dataset = prepare_dataset(config)
-    model = train_defender("vit_b16", dataset, config)
-    images, labels = select_correctly_classified(
-        model.predict, dataset.test_images, dataset.test_labels, config.eval_samples
-    )
-    shielded = ShieldedModel(model)
-    rows = []
-    for epsilon in _EPSILONS:
-        attack = PGD(epsilon=epsilon, step_size=epsilon / 8, steps=config.max_attack_steps)
-        clear_adv = attack.run(make_attacker_view(model), images, labels).adversarials
-        shielded_adv = attack.run(make_attacker_view(shielded), images, labels).adversarials
-        rows.append(
-            {
-                "epsilon": epsilon,
-                "unshielded": robust_accuracy(model.predict, clear_adv, labels),
-                "shielded": robust_accuracy(model.predict, shielded_adv, labels),
-            }
-        )
-    return rows
-
-
-def test_ablation_epsilon_sweep(benchmark):
+def test_ablation_epsilon_sweep(benchmark, engine):
     """The shielded/unshielded robustness gap must hold across ε budgets."""
-    rows = run_once(benchmark, _run_sweep)
+    record = run_once(benchmark, engine.run, "ablation_epsilon", scale=BENCH_SCALE)
+    rows = record.results
     print()
-    print("Ablation — PGD robust accuracy vs epsilon (ViT-B/16 analogue, CIFAR-10 stand-in)")
-    print(f"{'epsilon':>10}{'unshielded':>14}{'shielded':>12}")
-    for row in rows:
-        print(f"{row['epsilon']:>10.3f}{row['unshielded'] * 100:>13.1f}%{row['shielded'] * 100:>11.1f}%")
+    print(render_run(record))
     for row in rows:
         assert row["shielded"] >= row["unshielded"]
     # Unshielded robustness must degrade (weakly) as the budget grows.

@@ -4,49 +4,23 @@
 stem still carries spatial information, so an averaging upsampler can recover
 more attack signal than a random-kernel transposed convolution, and that this
 is the reason shielded BiT models remain more exposed than shielded ViTs.
-This ablation compares PGD driven by the three substitutes (plus the random
-noise floor) against the same shielded BiT defender.
+The ``ablation_upsampling`` scenario compares PGD driven by the substitute
+upsamplers (plus the white-box ceiling and random-noise floor) against the
+same shielded BiT defender, one parallel cell per substitute.
 """
 
 from __future__ import annotations
 
-from benchmarks.conftest import bench_experiment_config, run_once
-from repro.attacks import PGD, RandomUniform, make_attacker_view
-from repro.core import ShieldedModel
-from repro.eval import prepare_dataset, robust_accuracy, select_correctly_classified, train_defender
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.eval import render_run
 
 
-def _run_ablation() -> dict[str, float]:
-    config = bench_experiment_config(dataset="cifar10", models=("bit_m_r101x3",))
-    dataset = prepare_dataset(config)
-    model = train_defender("bit_m_r101x3", dataset, config)
-    images, labels = select_correctly_classified(
-        model.predict, dataset.test_images, dataset.test_labels, config.eval_samples
-    )
-    epsilon = 0.031 * config.epsilon_scale
-    attack = PGD(epsilon=epsilon, step_size=epsilon / 8, steps=config.max_attack_steps)
-    results: dict[str, float] = {}
-    # White-box reference and random-noise floor.
-    clear_adv = attack.run(make_attacker_view(model), images, labels).adversarials
-    results["white_box"] = robust_accuracy(model.predict, clear_adv, labels)
-    noise_adv = RandomUniform(epsilon=epsilon).run(make_attacker_view(model), images, labels).adversarials
-    results["random_noise"] = robust_accuracy(model.predict, noise_adv, labels)
-    # The three upsampling substitutes against the shielded stem.
-    for strategy in ("transposed_conv", "average"):
-        shielded = ShieldedModel(model)
-        view = make_attacker_view(shielded, strategy=strategy)
-        adversarials = attack.run(view, images, labels).adversarials
-        results[strategy] = robust_accuracy(model.predict, adversarials, labels)
-    return results
-
-
-def test_ablation_upsampling_strategies(benchmark):
+def test_ablation_upsampling_strategies(benchmark, engine):
     """Compare the attacker's substitutes; averaging must be at least as strong."""
-    results = run_once(benchmark, _run_ablation)
+    record = run_once(benchmark, engine.run, "ablation_upsampling", scale=BENCH_SCALE)
+    results = record.results
     print()
-    print("Ablation — robust accuracy of a shielded BiT under different attacker substitutes")
-    for name, value in results.items():
-        print(f"  {name:16s} robust accuracy = {value * 100:.1f}%")
+    print(render_run(record))
     # White-box is the attacker's ceiling; every shielded substitute does worse.
     assert results["white_box"] <= results["transposed_conv"]
     assert results["white_box"] <= results["average"]

@@ -1,30 +1,24 @@
 """Figure 3 — Geometry of iterative maximum-allowable attacks.
 
-Reproduces the schematic of Fig. 3 quantitatively: FGSM, PGD and MIM are
-traced on a 2-D toy classification problem, and the bench reports whether
-each trajectory stays inside the l∞ ε-ball (the projection operator P) and
-whether it crosses the decision boundary.
+Reproduces the schematic of Fig. 3 quantitatively through the
+``fig3_geometry`` scenario: FGSM, PGD and MIM are traced on a 2-D toy
+classification problem, and the bench reports whether each trajectory stays
+inside the l∞ ε-ball (the projection operator P) and whether it crosses the
+decision boundary.
 """
 
 from __future__ import annotations
 
-from benchmarks.conftest import run_once
-from repro.eval.geometry import run_geometry_study
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.eval import render_run
 
 
-def test_fig3_attack_geometry(benchmark):
+def test_fig3_attack_geometry(benchmark, engine):
     """Trace the three attacks of Fig. 3 and print their trajectories."""
-    study = run_once(benchmark, run_geometry_study, 0.5, 0.08, 12)
+    record = run_once(benchmark, engine.run, "fig3_geometry", scale=BENCH_SCALE)
+    study = record.results
     print()
-    print(f"Figure 3 — attack geometry (epsilon={study.epsilon}, label={study.label})")
-    print(f"origin: {study.origin.round(3).tolist()}")
-    for name, trajectory in study.trajectories.items():
-        print(
-            f"  {name:5s} steps={len(trajectory.points) - 1:2d} "
-            f"end={trajectory.end.round(3).tolist()} "
-            f"max_linf={trajectory.max_linf:.3f} "
-            f"crossed_boundary={trajectory.crossed_boundary}"
-        )
+    print(render_run(record))
     # Every trajectory respects the epsilon ball (the P operator).
     for trajectory in study.trajectories.values():
         assert trajectory.max_linf <= study.epsilon + 1e-9

@@ -2,33 +2,25 @@
 
 The paper's Fig. 4 shows one correctly classified sample, the SAGA
 perturbation generated against the ensemble in each of the four shielding
-settings, and whether the attack succeeded.  This bench reproduces the study
-numerically: perturbation norms and per-member predictions per setting.
+settings, and whether the attack succeeded.  The ``fig4_saga_sample``
+scenario reproduces the study numerically — perturbation norms and
+per-member predictions per setting — reusing the cached Table IV defenders.
 """
 
 from __future__ import annotations
 
-from benchmarks.conftest import bench_experiment_config, run_once
-from repro.eval import saga_sample_study
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.eval import render_run
 
 
-def test_fig4_saga_sample_study(benchmark):
+def test_fig4_saga_sample_study(benchmark, engine):
     """Run the per-sample SAGA study and print the Fig. 4 style summary."""
-    config = bench_experiment_config(
-        dataset="cifar10", ensemble_vit="vit_l16", ensemble_cnn="bit_m_r101x3"
-    )
-    study = run_once(benchmark, saga_sample_study, config, 0)
+    record = run_once(benchmark, engine.run, "fig4_saga_sample", scale=BENCH_SCALE)
+    study = record.results
     print()
-    print(f"Figure 4 — SAGA on one correctly classified sample (true label {study.label})")
-    print(f"{'Setting':<10}{'linf':>8}{'l2':>8}{'ViT pred':>10}{'CNN pred':>10}{'Attack':>10}")
-    for setting, outcome in study.settings.items():
-        verdict = "success" if outcome["attack_success"] else "failure"
-        print(
-            f"{setting:<10}{outcome['linf']:>8.4f}{outcome['l2']:>8.3f}"
-            f"{outcome['vit_prediction']:>10d}{outcome['cnn_prediction']:>10d}{verdict:>10}"
-        )
+    print(render_run(record))
     # Perturbations always respect the epsilon budget.
-    epsilon = 0.031 * config.epsilon_scale
+    epsilon = 0.031 * record.config["epsilon_scale"]
     for outcome in study.settings.values():
         assert outcome["linf"] <= epsilon + 1e-9
     # Shielding both members must not make the attack easier than no shield.

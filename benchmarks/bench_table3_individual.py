@@ -1,13 +1,15 @@
 """Table III — Robust accuracy of non-shielded vs shielded individual models.
 
-For each dataset a representative subset of the paper's defenders is trained
-on the synthetic stand-in, attacked with the five white-box attacks of
-Table III (FGSM, PGD, MIM, C&W, APGD) in the clear setting and in the
-PELTA-shielded setting, and the robust accuracies are printed side by side.
+Each dataset block is the registered ``table3_<dataset>`` scenario: a
+representative subset of the paper's defenders is trained on the synthetic
+stand-in (or pulled from the artifact cache), attacked with the five
+white-box attacks of Table III (FGSM, PGD, MIM, C&W, APGD) in the clear and
+PELTA-shielded settings in parallel cells, and the robust accuracies are
+persisted as JSON and printed side by side.
 
-Bench scale (default): three defenders on the CIFAR-10 stand-in and two on
-each of the other datasets, 20 correctly classified samples, 8-10 attack
-iterations.  Set REPRO_BENCH_SCALE=full for a heavier sweep.
+Bench scale (default): three defenders on the CIFAR-10 stand-in and one or
+two on the other datasets.  Set REPRO_BENCH_SCALE=full for the heavier
+sweep and REPRO_ENGINE_WORKERS to parallelise the attack cells.
 """
 
 from __future__ import annotations
@@ -15,45 +17,17 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from benchmarks.conftest import BENCH_SCALE, bench_experiment_config, run_once
-from repro.eval import format_table3, run_individual_benchmark
-
-_ATTACKS = ("fgsm", "pgd", "mim", "cw", "apgd")
-
-_DATASET_MODELS = {
-    "cifar10": ("vit_l16", "resnet56", "bit_m_r101x3"),
-    "cifar100": ("vit_b16",),
-    "imagenet": ("vit_b16", "bit_m_r101x3"),
-}
-if BENCH_SCALE == "full":
-    _DATASET_MODELS = {
-        "cifar10": ("vit_l16", "vit_b16", "vit_b32", "resnet56", "resnet164", "bit_m_r101x3"),
-        "cifar100": ("vit_l16", "vit_b16", "vit_b32", "resnet56", "resnet164", "bit_m_r101x3"),
-        "imagenet": ("vit_l16", "vit_b16", "bit_m_r101x3", "bit_m_r152x4"),
-    }
-
-#: Class counts for the non-CIFAR-10 stand-ins are reduced at bench scale so
-#: the per-class sample budget stays meaningful.
-_DATASET_CLASSES = {"cifar10": None, "cifar100": 20 if BENCH_SCALE != "full" else 100, "imagenet": 10 if BENCH_SCALE != "full" else 20}
-
-
-def _run_dataset(dataset: str):
-    config = bench_experiment_config(
-        dataset=dataset,
-        models=_DATASET_MODELS[dataset],
-        attacks=_ATTACKS,
-        num_classes=_DATASET_CLASSES[dataset],
-    )
-    return run_individual_benchmark(config)
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.eval import render_run
 
 
 @pytest.mark.parametrize("dataset", ["cifar10", "cifar100", "imagenet"])
-def test_table3_robust_accuracy(benchmark, dataset):
+def test_table3_robust_accuracy(benchmark, engine, dataset):
     """Regenerate one dataset block of Table III and check its shape."""
-    results = run_once(benchmark, _run_dataset, dataset)
+    record = run_once(benchmark, engine.run, f"table3_{dataset}", scale=BENCH_SCALE)
     print()
-    print(format_table3(results))
-    for result in results:
+    print(render_run(record))
+    for result in record.results:
         # The paper's qualitative claims, checked per model:
         #   (i) iterative white-box attacks devastate the unshielded model,
         #   (ii) shielding recovers most of the astuteness.

@@ -1,55 +1,41 @@
 """Shared configuration for the benchmark harness.
 
-Every benchmark regenerates one table or figure of the paper at *bench
-scale*: scaled-down models trained on synthetic data, fewer evaluation
-samples and smaller attack budgets than the paper's 1000-sample / 5e3-query
-setup, so the whole suite completes on a laptop.  The REPRO_BENCH_SCALE
-environment variable selects a larger configuration (``full``) when more
-compute is available.
+Every benchmark regenerates one table or figure of the paper through the
+experiment engine at *bench scale*: scaled-down models trained on synthetic
+data, fewer evaluation samples and smaller attack budgets than the paper's
+1000-sample / 5e3-query setup, so the whole suite completes on a laptop.
+The REPRO_BENCH_SCALE environment variable selects the heavier ``full``
+preset when more compute is available, and REPRO_ENGINE_WORKERS /
+REPRO_ENGINE_BACKEND fan the independent attack cells out in parallel.
+
+All benches share one session-scoped :class:`ExperimentEngine` whose
+artifact cache persists under ``results/cache`` — so the Table IV and
+Fig. 4 benches reuse the defenders the Table III bench already trained
+(even across separate bench invocations), and every result is written as a
+structured JSON record under ``results/runs`` for
+``scripts/update_experiments.py``.
 """
 
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import pytest
 
+from repro.eval.engine import ExperimentEngine, scaled_experiment_config
 from repro.eval.harness import ExperimentConfig
 from repro.utils.rng import set_global_seed
 
-BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "bench")
+BENCH_SCALE = "full" if os.environ.get("REPRO_BENCH_SCALE") == "full" else "bench"
+
+#: Every run record / cached defender lands under the repository's results/.
+RESULTS_DIR = Path(__file__).resolve().parents[1] / "results"
 
 
 def bench_experiment_config(**overrides) -> ExperimentConfig:
     """Baseline experiment configuration for the benches (scaled by env var)."""
-    if BENCH_SCALE == "full":
-        defaults = dict(
-            train_per_class=64,
-            test_per_class=24,
-            train_epochs=5,
-            train_lr=3e-3,
-            eval_samples=100,
-            attack_batch_size=32,
-            max_attack_steps=20,
-            apgd_steps=30,
-            saga_steps=20,
-            epsilon_scale=1.0,
-        )
-    else:
-        defaults = dict(
-            train_per_class=32,
-            test_per_class=12,
-            train_epochs=4,
-            train_lr=3e-3,
-            eval_samples=12,
-            attack_batch_size=12,
-            max_attack_steps=5,
-            apgd_steps=6,
-            saga_steps=5,
-            epsilon_scale=1.0,
-        )
-    defaults.update(overrides)
-    return ExperimentConfig(**defaults)
+    return scaled_experiment_config(BENCH_SCALE, **overrides)
 
 
 @pytest.fixture(autouse=True)
@@ -57,6 +43,12 @@ def _bench_seed():
     """Deterministic benches: fixed global seed before every benchmark."""
     set_global_seed(20230913)
     yield
+
+
+@pytest.fixture(scope="session")
+def engine() -> ExperimentEngine:
+    """The shared experiment engine (one artifact cache for the whole suite)."""
+    return ExperimentEngine(results_dir=RESULTS_DIR)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -1,65 +1,44 @@
 """Defending a ViT + BiT ensemble against the Self-Attention Gradient Attack.
 
-Reproduces the Table IV experiment of the paper at example scale: a
-random-selection ensemble of a Vision Transformer and a Big Transfer model is
-attacked with SAGA under the four shielding settings (no shield, ViT only,
-BiT only, both members shielded).  Shielding both members is what restores
-the ensemble's astuteness.
+Reproduces the Table IV experiment of the paper at example scale through the
+experiment engine: the ``table4_cifar10`` scenario trains (or loads from the
+artifact cache) a Vision Transformer and a Big Transfer member, fans SAGA
+out over the four shielding settings (no shield, ViT only, BiT only, both)
+in parallel cells, and renders the resulting table.  Shielding both members
+is what restores the ensemble's astuteness.
 
 Run with:  python examples/ensemble_saga_defense.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.attacks import SelfAttentionGradientAttack, make_attacker_view
-from repro.core import ShieldedModel
-from repro.data import make_cifar10_like
-from repro.eval import robust_accuracy, select_correctly_classified
-from repro.models import RandomSelectionEnsemble, bit_m_r101x3, vit_l16
-from repro.nn.trainer import fit_classifier
+from repro.eval import render_run
+from repro.eval.engine import CellExecutor, ExecutorConfig, ExperimentEngine
 from repro.utils import set_global_seed
-
-SETTINGS = ("none", "vit_only", "bit_only", "both")
 
 
 def main() -> None:
     set_global_seed(13)
-    dataset = make_cifar10_like(train_per_class=40, test_per_class=12)
-
-    # Train the two ensemble members.
-    vit = vit_l16(num_classes=10, image_size=32)
-    bit = bit_m_r101x3(num_classes=10, image_size=32)
-    for name, model in (("ViT-L/16", vit), ("BiT-M-R101x3", bit)):
-        fit_classifier(model, dataset.train_images, dataset.train_labels, epochs=4, lr=3e-3)
-        print(f"{name} clean accuracy: {model.accuracy(dataset.test_images, dataset.test_labels):.1%}")
-    ensemble = RandomSelectionEnsemble([vit, bit])
-
-    # Evaluation set: samples both members classify correctly.
-    def both_correct(batch: np.ndarray) -> np.ndarray:
-        vit_pred, bit_pred = vit.predict(batch), bit.predict(batch)
-        return np.where(vit_pred == bit_pred, vit_pred, -1)
-
-    images, labels = select_correctly_classified(
-        both_correct, dataset.test_images, dataset.test_labels, max_samples=24
+    engine = ExperimentEngine(
+        executor=CellExecutor(ExecutorConfig(backend="auto", max_workers=4)),
+        results_dir="results",
     )
-
-    saga = SelfAttentionGradientAttack(epsilon=0.031, step_size=0.0031, steps=10, alpha_cnn=0.5)
-    print(f"\n{'Setting':<10}{'ViT':>8}{'BiT':>8}{'Ensemble':>10}")
-    for setting in SETTINGS:
-        vit_target = ShieldedModel(vit) if setting in ("vit_only", "both") else vit
-        bit_target = ShieldedModel(bit) if setting in ("bit_only", "both") else bit
-        adversarials = saga.craft_against_ensemble(
-            make_attacker_view(vit_target), make_attacker_view(bit_target), images, labels
-        )
-        vit_robust = robust_accuracy(vit.predict, adversarials, labels)
-        bit_robust = robust_accuracy(bit.predict, adversarials, labels)
-        ensemble_robust = robust_accuracy(lambda batch: ensemble.predict(batch), adversarials, labels)
-        print(f"{setting:<10}{vit_robust:>8.1%}{bit_robust:>8.1%}{ensemble_robust:>10.1%}")
-
+    record = engine.run(
+        "table4_cifar10",
+        scale="bench",
+        train_per_class=40,
+        test_per_class=12,
+        eval_samples=24,
+        saga_steps=10,
+    )
+    print(render_run(record))
+    stats = record.cache_stats
     print(
-        "\nShielding a single member leaves its counterpart exposed; shielding both "
+        f"\n{stats['trainings']} member(s) trained, {stats['defender_hits']} loaded "
+        f"from the artifact cache; results persisted under results/runs/."
+    )
+    print(
+        "Shielding a single member leaves its counterpart exposed; shielding both "
         "members restores the ensemble's astuteness (the Table IV result)."
     )
 

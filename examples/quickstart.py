@@ -2,7 +2,9 @@
 
 This example walks through the core loop of the paper on a laptop-scale setup:
 
-1. train a small Vision Transformer on a synthetic CIFAR-10-like dataset;
+1. train a small Vision Transformer on a synthetic CIFAR-10-like dataset —
+   through the experiment engine's artifact cache, so re-running the example
+   (or any scenario with the same configuration) skips the training;
 2. attack it with PGD in the full white-box setting (the default in FL);
 3. wrap the same model in a PELTA :class:`~repro.core.ShieldedModel`, which
    seals the stem inside a simulated TrustZone enclave, and attack again —
@@ -14,28 +16,34 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.attacks import PGD, make_attacker_view
 from repro.core import ShieldedModel, format_bytes, measure_shielded_model
-from repro.data import make_cifar10_like
-from repro.eval import robust_accuracy, select_correctly_classified
-from repro.models import vit_b16
-from repro.nn.trainer import fit_classifier
+from repro.eval import ExperimentConfig, robust_accuracy, select_correctly_classified
+from repro.eval.engine import ArtifactCache
 from repro.utils import set_global_seed
 
 
 def main() -> None:
     set_global_seed(7)
 
-    # 1. Data and defender -------------------------------------------------
-    dataset = make_cifar10_like(train_per_class=40, test_per_class=12)
-    model = vit_b16(num_classes=dataset.num_classes, image_size=32)
-    history = fit_classifier(
-        model, dataset.train_images, dataset.train_labels, epochs=4, lr=3e-3, batch_size=32
+    # 1. Data and defender, via the artifact cache ---------------------------
+    # The cache keys artifacts by a stable hash of the configuration (plus
+    # the global seed), persisting trained weights under results/cache — the
+    # second run of this script trains nothing.
+    config = ExperimentConfig(
+        dataset="cifar10",
+        models=("vit_b16",),
+        train_per_class=40,
+        test_per_class=12,
+        train_epochs=4,
+        train_lr=3e-3,
     )
+    cache = ArtifactCache(directory="results/cache")
+    dataset = cache.get_dataset(config)
+    model = cache.get_defender("vit_b16", config)
     clean_accuracy = model.accuracy(dataset.test_images, dataset.test_labels)
-    print(f"clean accuracy: {clean_accuracy:.1%} (final training accuracy {history.final_accuracy:.1%})")
+    trained = "trained now" if cache.stats.trainings else "loaded from cache"
+    print(f"clean accuracy: {clean_accuracy:.1%} (defender {trained})")
 
     # Evaluate robustness over correctly classified samples, as in the paper.
     images, labels = select_correctly_classified(

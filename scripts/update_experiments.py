@@ -1,11 +1,19 @@
-"""Refresh the measured-result blocks of EXPERIMENTS.md from bench_output.txt.
+"""Refresh the measured-result blocks of EXPERIMENTS.md from engine JSON runs.
 
-The benchmark suite prints every regenerated table / figure to stdout, which
-``pytest benchmarks/ --benchmark-only -s | tee bench_output.txt`` captures.
-This helper copies those printed blocks into the corresponding sections of
-EXPERIMENTS.md so the document always reflects the latest benchmark run.
+The experiment engine persists every scenario run as a structured JSON
+record under ``results/runs/<scenario>.json`` (see ``repro.eval.engine``).
+This helper renders those records with ``repro.eval.tables.render_run`` and
+splices the printable blocks into the marker sections of EXPERIMENTS.md::
 
-Usage:  python scripts/update_experiments.py [bench_output.txt] [EXPERIMENTS.md]
+    <!-- BEGIN RESULTS: table3 -->
+    ... regenerated content ...
+    <!-- END RESULTS: table3 -->
+
+No pytest stdout scraping is involved: re-running a scenario (CLI or bench
+suite) rewrites its JSON, and re-running this script refreshes the document
+idempotently.
+
+Usage:  python scripts/update_experiments.py [results_dir] [EXPERIMENTS.md]
 """
 
 from __future__ import annotations
@@ -14,76 +22,77 @@ import re
 import sys
 from pathlib import Path
 
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
 
-def _clean(lines: list[str]) -> str:
-    """Strip pytest noise (log lines, progress dots) from a captured block."""
-    kept = []
-    for line in lines:
-        if "WARNING repro" in line or line.startswith("WARNING conda"):
-            continue
-        stripped = line.rstrip("\n")
-        if stripped in (".", "F", ""):
-            continue
-        kept.append(stripped.lstrip(".F"))
-    return "\n".join(kept).rstrip()
+from repro.eval.engine import load_runs  # noqa: E402
+from repro.eval.tables import render_run  # noqa: E402
 
-
-def extract_block(text: str, header_prefix: str, max_lines: int = 12) -> str:
-    """Extract the block of lines starting at the first line with ``header_prefix``."""
-    lines = text.splitlines()
-    for index, line in enumerate(lines):
-        if header_prefix in line:
-            block = []
-            for candidate in lines[index : index + max_lines]:
-                if candidate.startswith("===") or "seconds" in candidate and "=" in candidate:
-                    break
-                block.append(candidate)
-            return _clean(block)
-    return f"(block starting with {header_prefix!r} not found in bench output)"
-
-
-def extract_all_blocks(text: str, header_prefix: str, max_lines: int = 12) -> str:
-    """Extract every block whose header contains ``header_prefix``."""
-    blocks = []
-    lines = text.splitlines()
-    for index, line in enumerate(lines):
-        if header_prefix in line:
-            blocks.append(_clean(lines[index : index + max_lines]))
-    return "\n\n".join(blocks) if blocks else extract_block(text, header_prefix, max_lines)
-
-
-#: Placeholder -> (header prefix searched in bench_output.txt, lines to copy, all blocks?)
-PLACEHOLDERS = {
-    "PASTE_TABLE3_HERE": ("Table III — Robust accuracy", 8, True),
-    "PASTE_TABLE4_HERE": ("Table IV — Ensemble vs SAGA", 6, True),
-    "PASTE_FIG3_HERE": ("Figure 3 — attack geometry", 6, False),
-    "PASTE_FIG4_HERE": ("Figure 4 — SAGA on one correctly classified sample", 7, False),
-    "PASTE_OVERHEAD_HERE": ("Section VI — shielded inference boundary overhead", 11, False),
-    "PASTE_ABLATION_UPSAMPLING_HERE": ("Ablation — robust accuracy of a shielded BiT", 6, False),
-    "PASTE_ABLATION_EPSILON_HERE": ("Ablation — PGD robust accuracy vs epsilon", 6, False),
+#: Marker key -> scenario-name prefix whose runs fill the section.
+SECTIONS = {
+    "table3": "table3",
+    "table4": "table4",
+    "fig3": "fig3_geometry",
+    "fig4": "fig4_saga_sample",
+    "ablation_epsilon": "ablation_epsilon",
+    "ablation_upsampling": "ablation_upsampling",
 }
+
+_MARKER = "<!-- BEGIN RESULTS: {key} -->"
+_END_MARKER = "<!-- END RESULTS: {key} -->"
+
+
+def render_section(records: dict[str, dict], prefix: str) -> str | None:
+    """Render every run whose scenario name starts with ``prefix``."""
+    blocks = []
+    for name in sorted(records):
+        if not name.startswith(prefix):
+            continue
+        record = records[name]
+        rendered = render_run(record)
+        meta = (
+            f"(scenario {name}, scale={record.get('scale', '?')}, "
+            f"seed={record.get('seed', '?')}, {record.get('created_at', 'unknown time')})"
+        )
+        blocks.append(f"```\n{rendered}\n```\n{meta}")
+    if not blocks:
+        return None
+    return "\n\n".join(blocks)
+
+
+def splice(document: str, key: str, content: str) -> str:
+    """Replace the marker section ``key`` with ``content`` (idempotent)."""
+    begin = _MARKER.format(key=key)
+    end = _END_MARKER.format(key=key)
+    pattern = re.compile(re.escape(begin) + r".*?" + re.escape(end), flags=re.DOTALL)
+    if not pattern.search(document):
+        return document
+    return pattern.sub(f"{begin}\n{content}\n{end}", document)
 
 
 def main() -> None:
-    bench_path = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("bench_output.txt")
-    experiments_path = Path(sys.argv[2]) if len(sys.argv) > 2 else Path("EXPERIMENTS.md")
-    bench_text = bench_path.read_text()
+    results_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else _REPO_ROOT / "results"
+    experiments_path = Path(sys.argv[2]) if len(sys.argv) > 2 else _REPO_ROOT / "EXPERIMENTS.md"
+    records = load_runs(results_dir)
+    if not records:
+        print(f"no run records under {results_dir}/runs — run `python -m repro.run <scenario>` first")
+        raise SystemExit(1)
     document = experiments_path.read_text()
-    for placeholder, (header, max_lines, use_all) in PLACEHOLDERS.items():
-        if placeholder not in document:
+    updated, missing = [], []
+    for key, prefix in SECTIONS.items():
+        content = render_section(records, prefix)
+        if content is None:
+            missing.append(key)
             continue
-        if use_all:
-            block = extract_all_blocks(bench_text, header, max_lines)
-        else:
-            block = extract_block(bench_text, header, max_lines)
-        document = document.replace(placeholder, block)
-    # Also refresh any stale "Section VI" block when re-run without placeholders.
+        replaced = splice(document, key, content)
+        if replaced != document:
+            updated.append(key)
+        document = replaced
     experiments_path.write_text(document)
-    remaining = re.findall(r"PASTE_[A-Z_]+_HERE", document)
-    if remaining:
-        print(f"warning: unresolved placeholders remain: {remaining}")
-    else:
-        print(f"EXPERIMENTS.md updated from {bench_path}")
+    print(f"EXPERIMENTS.md refreshed from {results_dir}/runs: updated {updated or 'nothing'}")
+    if missing:
+        print(f"sections without runs yet: {missing}")
 
 
 if __name__ == "__main__":

@@ -6,6 +6,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.autodiff.tensor import get_default_dtype
+
 
 @dataclass
 class AttackResult:
@@ -69,7 +71,7 @@ class Attack:
 
     def run(self, view, inputs: np.ndarray, labels: np.ndarray) -> AttackResult:
         """Craft adversarial examples and record the attacker-side success."""
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = np.asarray(inputs, dtype=get_default_dtype())
         labels = np.asarray(labels, dtype=np.int64)
         self._queries = 0
         adversarials = self.craft(view, inputs, labels)

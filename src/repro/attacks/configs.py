@@ -11,6 +11,9 @@ queries per sample is far beyond what a NumPy substrate should spend).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
 
 from repro.attacks.apgd import APGD
 from repro.attacks.base import Attack
@@ -90,7 +93,15 @@ class AttackSuiteConfig:
     include_random_baseline: bool = False
 
 
-def build_attack_suite(config: AttackSuiteConfig) -> dict[str, Attack]:
+#: Maps a stream name to a generator; the experiment engine passes a factory
+#: derived from a per-cell seed so concurrently executing cells never share
+#: (and therefore never race on) the global RNG streams.
+RngFactory = Callable[[str], "np.random.Generator"]
+
+
+def build_attack_suite(
+    config: AttackSuiteConfig, rng_factory: RngFactory | None = None
+) -> dict[str, Attack]:
     """Instantiate the individual-model attacks of Table III."""
     params = table2_parameters(config.dataset)
     epsilon = params.epsilon * config.epsilon_scale
@@ -102,9 +113,10 @@ def build_attack_suite(config: AttackSuiteConfig) -> dict[str, Attack]:
         # count, the step size is enlarged to preserve that total budget.
         step_size = max(step_size, epsilon / pgd_steps)
     cw_steps = min(params.cw_steps, config.max_steps)
+    pgd_rng = rng_factory("attacks.pgd") if rng_factory is not None else None
     suite: dict[str, Attack] = {
         "fgsm": FGSM(epsilon=epsilon),
-        "pgd": PGD(epsilon=epsilon, step_size=step_size, steps=pgd_steps),
+        "pgd": PGD(epsilon=epsilon, step_size=step_size, steps=pgd_steps, rng=pgd_rng),
         "mim": MIM(epsilon=epsilon, step_size=step_size, steps=pgd_steps, decay=params.mim_decay),
         "cw": CarliniWagner(
             confidence=params.cw_confidence,
@@ -119,7 +131,8 @@ def build_attack_suite(config: AttackSuiteConfig) -> dict[str, Attack]:
         ),
     }
     if config.include_random_baseline:
-        suite["random"] = RandomUniform(epsilon=epsilon)
+        noise_rng = rng_factory("attacks.random") if rng_factory is not None else None
+        suite["random"] = RandomUniform(epsilon=epsilon, rng=noise_rng)
     return suite
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.autodiff.tensor import get_default_dtype
 from repro.attacks.base import Attack, AttackResult
 from repro.data.transforms import apply_patch
 from repro.utils.rng import get_rng
@@ -40,12 +41,12 @@ class AdversarialPatchAttack(Attack):
         self.last_patch: np.ndarray | None = None
 
     def _mask(self, shape: tuple[int, ...]) -> np.ndarray:
-        mask = np.zeros(shape, dtype=np.float64)
+        mask = np.zeros(shape, dtype=get_default_dtype())
         mask[:, :, self.row : self.row + self.patch_size, self.col : self.col + self.patch_size] = 1.0
         return mask
 
     def craft(self, view, inputs: np.ndarray, labels: np.ndarray) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = np.asarray(inputs, dtype=get_default_dtype())
         channels = inputs.shape[1]
         patch = self._rng.uniform(0.0, 1.0, size=(channels, self.patch_size, self.patch_size))
         mask = self._mask(inputs.shape)

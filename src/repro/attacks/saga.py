@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.autodiff.tensor import get_default_dtype
 from repro.attacks.base import Attack, AttackResult, project_linf
 
 
@@ -123,7 +124,7 @@ class SelfAttentionGradientAttack(Attack):
         labels: np.ndarray,
     ) -> AttackResult:
         """Craft against both members and score success against *either* member."""
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = np.asarray(inputs, dtype=get_default_dtype())
         labels = np.asarray(labels, dtype=np.int64)
         adversarials = self.craft_against_ensemble(vit_view, cnn_view, inputs, labels)
         fooled_vit = vit_view.predict(adversarials) != labels

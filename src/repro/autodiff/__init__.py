@@ -38,7 +38,16 @@ from repro.autodiff.functional import (
 )
 from repro.autodiff.graph import GraphNode, GraphSnapshot
 from repro.autodiff.numeric import numerical_gradient, relative_error
-from repro.autodiff.tensor import Tensor, as_tensor, concat, stack, topological_order, unbroadcast
+from repro.autodiff.tensor import (
+    Tensor,
+    as_tensor,
+    concat,
+    get_default_dtype,
+    set_default_dtype,
+    stack,
+    topological_order,
+    unbroadcast,
+)
 
 __all__ = [
     "GraphNode",
@@ -55,6 +64,7 @@ __all__ = [
     "cross_entropy",
     "dropout",
     "gelu",
+    "get_default_dtype",
     "global_avg_pool2d",
     "im2col",
     "is_grad_enabled",
@@ -67,6 +77,7 @@ __all__ = [
     "numerical_gradient",
     "relative_error",
     "relu",
+    "set_default_dtype",
     "shield_scope",
     "sigmoid",
     "softmax",

@@ -1,23 +1,28 @@
 """Execution contexts for the autodiff engine.
 
-Two orthogonal pieces of thread-local-like state are tracked here:
+Two orthogonal pieces of thread-local state are tracked here:
 
 * whether gradient recording is enabled (:class:`no_grad`), and
 * whether tensors created *right now* belong to a shielded (TEE) region
   (:class:`shield_scope`), which is how PELTA tags the quantities that live
   inside the enclave.
+
+The state is per-thread so the experiment engine's thread backend can run
+independent attack cells concurrently: one cell's ``no_grad`` inference must
+not disable gradient recording in another cell's backward pass.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.autodiff.tensor import Tensor
 
 
-class _EngineState:
-    """Module-level mutable state for the autodiff engine."""
+class _EngineState(threading.local):
+    """Per-thread mutable state for the autodiff engine."""
 
     def __init__(self) -> None:
         self.grad_enabled: bool = True

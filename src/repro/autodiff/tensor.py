@@ -13,6 +13,7 @@ region.
 from __future__ import annotations
 
 import itertools
+import os
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -21,15 +22,61 @@ from repro.autodiff.context import active_shield_region, is_grad_enabled
 
 DEFAULT_DTYPE = np.float64
 
+_DTYPE_ALIASES = {
+    "float32": np.float32,
+    "f32": np.float32,
+    "single": np.float32,
+    "float64": np.float64,
+    "f64": np.float64,
+    "double": np.float64,
+}
+
+
+def _resolve_dtype(dtype) -> np.dtype:
+    if isinstance(dtype, str):
+        key = dtype.strip().lower()
+        if key not in _DTYPE_ALIASES:
+            raise ValueError(
+                f"unsupported dtype {dtype!r}; expected one of {sorted(_DTYPE_ALIASES)}"
+            )
+        return np.dtype(_DTYPE_ALIASES[key])
+    resolved = np.dtype(dtype)
+    if resolved not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(f"unsupported dtype {dtype!r}; expected float32 or float64")
+    return resolved
+
+
+#: Process-wide default floating dtype, overridable with REPRO_DTYPE=float32
+#: (float64 keeps the numeric-gradient test tolerances; float32 halves memory
+#: and speeds up the NumPy kernels at bench scale).
+_DEFAULT_DTYPE = _resolve_dtype(os.environ.get("REPRO_DTYPE", DEFAULT_DTYPE))
+
+
+def get_default_dtype() -> np.dtype:
+    """The floating dtype new tensors are created with."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the default floating dtype (``float32`` or ``float64``).
+
+    Only affects tensors created afterwards; existing arrays keep their dtype.
+    Returns the resolved dtype so callers can restore it later.
+    """
+    global _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = _resolve_dtype(dtype)
+    return _DEFAULT_DTYPE
+
+
 _NODE_COUNTER = itertools.count()
 
 ArrayLike = "np.ndarray | float | int | list | tuple | Tensor"
 
 
-def _as_array(value, dtype=DEFAULT_DTYPE) -> np.ndarray:
+def _as_array(value, dtype=None) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
-    return np.asarray(value, dtype=dtype)
+    return np.asarray(value, dtype=dtype if dtype is not None else _DEFAULT_DTYPE)
 
 
 def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:

@@ -28,9 +28,31 @@ from repro.eval.harness import (
     saga_sample_study,
     train_defender,
 )
-from repro.eval.tables import format_table1, format_table2, format_table3, format_table4
+from repro.eval.tables import (
+    format_epsilon_sweep,
+    format_fig3,
+    format_fig4,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table4,
+    format_upsampling_ablation,
+    render_run,
+)
+
+
+def __getattr__(name: str):
+    # Lazy so the engine package (which imports harness) never participates
+    # in an import cycle with this module.
+    if name == "engine":
+        import repro.eval.engine as engine
+
+        return engine
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
+    "engine",
     "AstutenessResult",
     "AttackTrajectory",
     "EnsembleBenchmarkResult",
@@ -42,10 +64,15 @@ __all__ = [
     "attack_success_rate",
     "evaluate_attack",
     "evaluate_individual_model",
+    "format_epsilon_sweep",
+    "format_fig3",
+    "format_fig4",
     "format_table1",
     "format_table2",
     "format_table3",
     "format_table4",
+    "format_upsampling_ablation",
+    "render_run",
     "make_toy_problem",
     "prepare_dataset",
     "robust_accuracy",

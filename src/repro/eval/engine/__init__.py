@@ -1,0 +1,75 @@
+"""Unified experiment engine.
+
+The engine replaces the seed harness's copy-pasted orchestration with four
+composable pieces:
+
+* a **scenario registry** (:mod:`~repro.eval.engine.registry`) where every
+  table / figure / ablation is a declarative entry over a shared
+  :class:`~repro.eval.harness.ExperimentConfig`;
+* an **artifact cache** (:mod:`~repro.eval.engine.cache`) keying trained
+  defenders and synthetic datasets by a stable config hash so no experiment
+  ever retrains what another already trained;
+* a **parallel executor** (:mod:`~repro.eval.engine.executor`) fanning
+  independent (model × attack × shield-setting) cells over thread or process
+  pools with deterministic per-cell RNG seeds;
+* **structured results** (:mod:`~repro.eval.engine.results`) persisted as
+  JSON under ``results/runs/`` and rendered into the paper's tables by
+  :mod:`repro.eval.tables`.
+
+Run scenarios from Python (``ExperimentEngine().run("table3_cifar10")``) or
+from the CLI (``python -m repro.run table3_cifar10``).
+"""
+
+from repro.eval.engine.cache import ArtifactCache, CacheStats, stable_hash
+from repro.eval.engine.cells import model_spec, rebuild_model, run_attack_in_batches
+from repro.eval.engine.executor import BACKENDS, CellExecutor, ExecutorConfig
+from repro.eval.engine.registry import (
+    SCALES,
+    SCENARIO_KINDS,
+    Scenario,
+    build_scenario,
+    list_scenarios,
+    register_scenario,
+    scaled_experiment_config,
+    unregister_scenario,
+)
+from repro.eval.engine.results import (
+    RunRecord,
+    ensemble_result_from_payload,
+    individual_results_from_payload,
+    load_run,
+    load_runs,
+    record_to_dict,
+    saga_study_from_payload,
+    save_run,
+)
+from repro.eval.engine.runner import ExperimentEngine
+
+__all__ = [
+    "ArtifactCache",
+    "BACKENDS",
+    "CacheStats",
+    "CellExecutor",
+    "ExecutorConfig",
+    "ExperimentEngine",
+    "RunRecord",
+    "SCALES",
+    "SCENARIO_KINDS",
+    "Scenario",
+    "build_scenario",
+    "ensemble_result_from_payload",
+    "individual_results_from_payload",
+    "list_scenarios",
+    "load_run",
+    "load_runs",
+    "model_spec",
+    "rebuild_model",
+    "record_to_dict",
+    "register_scenario",
+    "run_attack_in_batches",
+    "saga_study_from_payload",
+    "save_run",
+    "scaled_experiment_config",
+    "stable_hash",
+    "unregister_scenario",
+]

@@ -1,0 +1,270 @@
+"""Declarative scenario registry.
+
+Every table / figure of the paper — and any user-defined experiment — is a
+named :class:`Scenario`: a kind (which runner to use), a shared
+:class:`~repro.eval.harness.ExperimentConfig`, and kind-specific parameters.
+Scenarios are built from a *scale* preset (``tiny`` / ``bench`` / ``full``)
+plus per-field overrides, so the same entry runs as a seconds-long smoke
+test or as the EXPERIMENTS.md configuration.
+
+New scenarios are added with :func:`register_scenario`::
+
+    @register_scenario("table3_svhn", "Table III block on an SVHN stand-in")
+    def _table3_svhn(scale, overrides):
+        config = scaled_experiment_config(scale, dataset="svhn", **overrides)
+        return Scenario(name="table3_svhn", kind="individual", config=config)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Mapping
+
+from repro.eval.harness import ExperimentConfig
+
+#: Kinds the runner knows how to execute.
+SCENARIO_KINDS = (
+    "individual",  # Table III: defenders × attack suite, clear vs shielded
+    "ensemble",  # Table IV: SAGA against the two-member ensemble
+    "saga_samples",  # Fig. 4: per-sample SAGA study
+    "geometry",  # Fig. 3: attack trajectories on the 2-D toy problem
+    "epsilon_sweep",  # ablation: PGD budget sweep
+    "upsampling",  # ablation: attacker upsampling substitutes
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative experiment entry."""
+
+    name: str
+    kind: str
+    config: ExperimentConfig
+    description: str = ""
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in SCENARIO_KINDS:
+            raise ValueError(f"unknown scenario kind {self.kind!r}; expected {SCENARIO_KINDS}")
+
+
+# --------------------------------------------------------------------------- #
+# Scale presets
+# --------------------------------------------------------------------------- #
+#: Experiment-config presets; ``tiny`` targets unit tests / CLI smoke runs,
+#: ``bench`` a laptop benchmark sweep, ``full`` the EXPERIMENTS.md runs.
+SCALES: dict[str, dict[str, Any]] = {
+    "tiny": dict(
+        image_size=16,
+        train_per_class=24,
+        test_per_class=6,
+        train_epochs=6,
+        train_lr=5e-3,
+        eval_samples=10,
+        attack_batch_size=10,
+        max_attack_steps=4,
+        apgd_steps=4,
+        saga_steps=4,
+        epsilon_scale=2.0,
+    ),
+    "bench": dict(
+        train_per_class=32,
+        test_per_class=12,
+        train_epochs=4,
+        train_lr=3e-3,
+        eval_samples=12,
+        attack_batch_size=12,
+        max_attack_steps=5,
+        apgd_steps=6,
+        saga_steps=5,
+        epsilon_scale=1.0,
+    ),
+    "full": dict(
+        train_per_class=64,
+        test_per_class=24,
+        train_epochs=5,
+        train_lr=3e-3,
+        eval_samples=100,
+        attack_batch_size=32,
+        max_attack_steps=20,
+        apgd_steps=30,
+        saga_steps=20,
+        epsilon_scale=1.0,
+    ),
+}
+
+
+def scaled_experiment_config(scale: str = "bench", **overrides) -> ExperimentConfig:
+    """Build an :class:`ExperimentConfig` from a scale preset plus overrides."""
+    if scale not in SCALES:
+        raise KeyError(f"unknown scale {scale!r}; expected one of {sorted(SCALES)}")
+    values = dict(SCALES[scale])
+    values.update(overrides)
+    return ExperimentConfig(**values)
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+ScenarioBuilder = Callable[[str, dict[str, Any]], Scenario]
+
+_BUILDERS: dict[str, ScenarioBuilder] = {}
+_DESCRIPTIONS: dict[str, str] = {}
+
+
+def register_scenario(name: str, description: str = ""):
+    """Register a scenario builder under ``name`` (decorator)."""
+
+    def decorator(builder: ScenarioBuilder) -> ScenarioBuilder:
+        if name in _BUILDERS:
+            raise ValueError(f"scenario {name!r} is already registered")
+        _BUILDERS[name] = builder
+        _DESCRIPTIONS[name] = description
+        return builder
+
+    return decorator
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a registered scenario (test helper)."""
+    _BUILDERS.pop(name, None)
+    _DESCRIPTIONS.pop(name, None)
+
+
+def list_scenarios() -> dict[str, str]:
+    """Mapping of every registered scenario name to its description."""
+    return {name: _DESCRIPTIONS.get(name, "") for name in sorted(_BUILDERS)}
+
+
+def build_scenario(name: str, scale: str = "bench", **overrides) -> Scenario:
+    """Instantiate a registered scenario at the given scale."""
+    if name not in _BUILDERS:
+        raise KeyError(f"unknown scenario {name!r}; available: {sorted(_BUILDERS)}")
+    scenario = _BUILDERS[name](scale, dict(overrides))
+    if not scenario.description:
+        scenario = replace(scenario, description=_DESCRIPTIONS.get(name, ""))
+    return scenario
+
+
+# --------------------------------------------------------------------------- #
+# Built-in scenarios (the paper's tables, figures and ablations)
+# --------------------------------------------------------------------------- #
+#: Defender line-up of each Table III dataset block, per scale.
+TABLE3_MODELS: dict[str, dict[str, tuple[str, ...]]] = {
+    "tiny": {
+        "cifar10": ("simple_cnn",),
+        "cifar100": ("simple_cnn",),
+        "imagenet": ("simple_cnn",),
+    },
+    "bench": {
+        "cifar10": ("vit_l16", "resnet56", "bit_m_r101x3"),
+        "cifar100": ("vit_b16",),
+        "imagenet": ("vit_b16", "bit_m_r101x3"),
+    },
+    "full": {
+        "cifar10": ("vit_l16", "vit_b16", "vit_b32", "resnet56", "resnet164", "bit_m_r101x3"),
+        "cifar100": ("vit_l16", "vit_b16", "vit_b32", "resnet56", "resnet164", "bit_m_r101x3"),
+        "imagenet": ("vit_l16", "vit_b16", "bit_m_r101x3", "bit_m_r152x4"),
+    },
+}
+
+#: Reduced class counts keep the per-class sample budget meaningful below
+#: full scale (mirrors the paper's dataset sizes at full scale).
+DATASET_CLASSES: dict[str, dict[str, int | None]] = {
+    "tiny": {"cifar10": None, "cifar100": 8, "imagenet": 6},
+    "bench": {"cifar10": None, "cifar100": 20, "imagenet": 10},
+    "full": {"cifar10": None, "cifar100": 100, "imagenet": 20},
+}
+
+#: Table IV CNN member per dataset (the paper pairs ImageNet with R152x4).
+ENSEMBLE_CNN = {"cifar10": "bit_m_r101x3", "cifar100": "bit_m_r101x3", "imagenet": "bit_m_r152x4"}
+
+_TABLE3_ATTACKS = ("fgsm", "pgd", "mim", "cw", "apgd")
+
+
+def _register_table3(dataset: str) -> None:
+    @register_scenario(
+        f"table3_{dataset}",
+        f"Table III — individual defenders vs the white-box suite ({dataset} stand-in)",
+    )
+    def _build(scale: str, overrides: dict[str, Any]) -> Scenario:
+        overrides.setdefault("models", TABLE3_MODELS[scale][dataset])
+        overrides.setdefault("num_classes", DATASET_CLASSES[scale][dataset])
+        overrides.setdefault("attacks", _TABLE3_ATTACKS)
+        config = scaled_experiment_config(scale, dataset=dataset, **overrides)
+        return Scenario(name=f"table3_{dataset}", kind="individual", config=config)
+
+
+def _register_table4(dataset: str) -> None:
+    @register_scenario(
+        f"table4_{dataset}",
+        f"Table IV — ViT+BiT ensemble vs SAGA under four shield settings ({dataset} stand-in)",
+    )
+    def _build(scale: str, overrides: dict[str, Any]) -> Scenario:
+        overrides.setdefault("num_classes", DATASET_CLASSES[scale][dataset])
+        overrides.setdefault("ensemble_vit", "vit_l16" if scale != "tiny" else "vit_b32")
+        overrides.setdefault(
+            "ensemble_cnn", ENSEMBLE_CNN[dataset] if scale != "tiny" else "simple_cnn"
+        )
+        config = scaled_experiment_config(scale, dataset=dataset, **overrides)
+        return Scenario(name=f"table4_{dataset}", kind="ensemble", config=config)
+
+
+for _dataset in ("cifar10", "cifar100", "imagenet"):
+    _register_table3(_dataset)
+    _register_table4(_dataset)
+
+
+def _as_tuple(value) -> tuple:
+    """Tuple coercion that treats a scalar (or bare string) as one element.
+
+    CLI overrides arrive as bare strings / numbers; without this,
+    ``tuple("average")`` would iterate the string character by character.
+    """
+    if isinstance(value, (str, int, float)):
+        return (value,)
+    return tuple(value)
+
+
+@register_scenario("fig3_geometry", "Figure 3 — attack geometry on the 2-D toy problem")
+def _fig3(scale: str, overrides: dict[str, Any]) -> Scenario:
+    params = {"epsilon": 0.5, "step_size": 0.08, "steps": 12}
+    params.update(overrides.pop("params", {}))
+    config = scaled_experiment_config(scale, **overrides)
+    return Scenario(name="fig3_geometry", kind="geometry", config=config, params=params)
+
+
+@register_scenario("fig4_saga_sample", "Figure 4 — SAGA on one sample per shield setting")
+def _fig4(scale: str, overrides: dict[str, Any]) -> Scenario:
+    params = {"sample_index": overrides.pop("sample_index", 0)}
+    overrides.setdefault("ensemble_vit", "vit_l16" if scale != "tiny" else "vit_b32")
+    overrides.setdefault("ensemble_cnn", "bit_m_r101x3" if scale != "tiny" else "simple_cnn")
+    config = scaled_experiment_config(scale, dataset="cifar10", **overrides)
+    return Scenario(name="fig4_saga_sample", kind="saga_samples", config=config, params=params)
+
+
+@register_scenario("ablation_epsilon", "Ablation — PGD robust accuracy vs ε budget")
+def _ablation_epsilon(scale: str, overrides: dict[str, Any]) -> Scenario:
+    params = {
+        "model": overrides.pop("model", "vit_b16" if scale != "tiny" else "simple_cnn"),
+        "epsilons": tuple(
+            float(epsilon) for epsilon in _as_tuple(overrides.pop("epsilons", (0.015, 0.031, 0.062)))
+        ),
+    }
+    overrides.setdefault("models", (params["model"],))
+    config = scaled_experiment_config(scale, dataset="cifar10", **overrides)
+    return Scenario(name="ablation_epsilon", kind="epsilon_sweep", config=config, params=params)
+
+
+@register_scenario("ablation_upsampling", "Ablation — attacker upsampling substitutes vs a shielded BiT")
+def _ablation_upsampling(scale: str, overrides: dict[str, Any]) -> Scenario:
+    params = {
+        "model": overrides.pop("model", "bit_m_r101x3" if scale != "tiny" else "simple_cnn"),
+        "strategies": tuple(
+            str(strategy)
+            for strategy in _as_tuple(overrides.pop("strategies", ("transposed_conv", "average")))
+        ),
+    }
+    overrides.setdefault("models", (params["model"],))
+    config = scaled_experiment_config(scale, dataset="cifar10", **overrides)
+    return Scenario(name="ablation_upsampling", kind="upsampling", config=config, params=params)

@@ -1,0 +1,116 @@
+"""Structured result persistence.
+
+A scenario run produces a :class:`RunRecord` — the scenario identity, the
+resolved configuration, the kind-specific result payload and some run
+metadata — serialised to ``<results_dir>/runs/<scenario>.json``.  Tables are
+rendered *from these records* (``repro.eval.tables.render_run``), and
+``scripts/update_experiments.py`` consumes the same JSON, so the numbers in
+EXPERIMENTS.md no longer depend on scraping pytest stdout.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.eval.harness import (
+    EnsembleBenchmarkResult,
+    IndividualModelResult,
+    SagaSampleStudy,
+)
+
+RESULTS_SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass
+class RunRecord:
+    """Everything persisted about one scenario run."""
+
+    scenario: str
+    kind: str
+    scale: str
+    seed: int
+    config: dict[str, Any]
+    params: dict[str, Any]
+    results: Any
+    duration_seconds: float = 0.0
+    cache_stats: dict[str, int] = dataclasses.field(default_factory=dict)
+    executor: dict[str, Any] = dataclasses.field(default_factory=dict)
+    created_at: str = ""
+    schema_version: int = RESULTS_SCHEMA_VERSION
+
+
+def _jsonify(value):
+    """Recursively convert dataclasses / NumPy values to JSON-compatible types."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _jsonify(getattr(value, f.name)) for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def record_to_dict(record: RunRecord) -> dict[str, Any]:
+    """Plain-dict form of a record (the JSON document)."""
+    return _jsonify(record)
+
+
+def save_run(record: RunRecord, results_dir: str | Path) -> Path:
+    """Write a record to ``<results_dir>/runs/<scenario>.json`` and return the path."""
+    runs_dir = Path(results_dir) / "runs"
+    runs_dir.mkdir(parents=True, exist_ok=True)
+    path = runs_dir / f"{record.scenario}.json"
+    # No key sorting: dict insertion order is semantic (attack and shield-
+    # setting rows render in declaration order when the record is reloaded).
+    path.write_text(json.dumps(record_to_dict(record), indent=2) + "\n")
+    return path
+
+
+def load_run(path: str | Path) -> dict[str, Any]:
+    """Load one persisted run record as a plain dict."""
+    return json.loads(Path(path).read_text())
+
+
+def load_runs(results_dir: str | Path) -> dict[str, dict[str, Any]]:
+    """Load every run record under ``<results_dir>/runs``, keyed by scenario."""
+    runs_dir = Path(results_dir) / "runs"
+    records: dict[str, dict[str, Any]] = {}
+    if not runs_dir.is_dir():
+        return records
+    for path in sorted(runs_dir.glob("*.json")):
+        record = load_run(path)
+        records[record.get("scenario", path.stem)] = record
+    return records
+
+
+# --------------------------------------------------------------------------- #
+# Payload → result-dataclass rebuilders (used by the table renderers)
+# --------------------------------------------------------------------------- #
+def individual_results_from_payload(payload: list[dict]) -> list[IndividualModelResult]:
+    """Rebuild the Table III result rows from their JSON payload."""
+    return [IndividualModelResult(**entry) for entry in payload]
+
+
+def ensemble_result_from_payload(payload: dict) -> EnsembleBenchmarkResult:
+    """Rebuild the Table IV result block from its JSON payload."""
+    return EnsembleBenchmarkResult(**payload)
+
+
+def saga_study_from_payload(payload: dict) -> SagaSampleStudy:
+    """Rebuild the Fig. 4 sample study from its JSON payload."""
+    return SagaSampleStudy(**payload)
+
+
+def timestamp() -> str:
+    """UTC timestamp for run records."""
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())

@@ -1,0 +1,327 @@
+"""The experiment engine: runs declarative scenarios end to end.
+
+``ExperimentEngine.run`` resolves a scenario (by name or instance), prepares
+its artifacts through the :class:`~repro.eval.engine.cache.ArtifactCache`
+(datasets and trained defenders are reused across scenarios — Table IV and
+Fig. 4 never retrain what Table III already trained), fans the independent
+cells out through the :class:`~repro.eval.engine.executor.CellExecutor`, and
+returns a :class:`~repro.eval.engine.results.RunRecord` that is optionally
+persisted as JSON under ``<results_dir>/runs/``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.attacks.configs import build_attack_suite
+from repro.eval.engine import cells
+from repro.eval.engine.cache import ArtifactCache
+from repro.eval.engine.executor import CellExecutor, ExecutorConfig
+from repro.eval.engine.registry import Scenario, build_scenario
+from repro.eval.engine.results import RunRecord, save_run, timestamp
+from repro.eval.geometry import run_geometry_study
+from repro.utils.logging import get_logger
+from repro.utils.rng import derive_seed, get_global_seed
+
+_LOGGER = get_logger("eval.engine.runner")
+
+
+class ExperimentEngine:
+    """Facade over the scenario registry, artifact cache and cell executor."""
+
+    def __init__(
+        self,
+        cache: ArtifactCache | None = None,
+        executor: CellExecutor | ExecutorConfig | None = None,
+        results_dir: str | Path | None = None,
+    ):
+        self.results_dir = Path(results_dir) if results_dir is not None else None
+        if cache is None:
+            cache_dir = self.results_dir / "cache" if self.results_dir is not None else None
+            cache = ArtifactCache(directory=cache_dir)
+        self.cache = cache
+        if isinstance(executor, ExecutorConfig):
+            executor = CellExecutor(executor)
+        self.executor = executor if executor is not None else CellExecutor()
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        scenario: str | Scenario,
+        scale: str = "bench",
+        persist: bool | None = None,
+        **overrides,
+    ) -> RunRecord:
+        """Execute one scenario and return its (optionally persisted) record."""
+        if isinstance(scenario, str):
+            scenario = build_scenario(scenario, scale=scale, **overrides)
+        elif overrides:
+            raise ValueError("overrides are only supported when resolving by name")
+        runner = {
+            "individual": self._run_individual,
+            "ensemble": self._run_ensemble,
+            "saga_samples": self._run_saga_samples,
+            "geometry": self._run_geometry,
+            "epsilon_sweep": self._run_epsilon_sweep,
+            "upsampling": self._run_upsampling,
+        }[scenario.kind]
+        _LOGGER.info("running scenario %s (%s)", scenario.name, scenario.kind)
+        start = time.perf_counter()
+        results = runner(scenario)
+        record = RunRecord(
+            scenario=scenario.name,
+            kind=scenario.kind,
+            scale=scale,
+            seed=get_global_seed(),
+            config=asdict(scenario.config),
+            params=dict(scenario.params),
+            results=results,
+            duration_seconds=time.perf_counter() - start,
+            cache_stats=self.cache.stats.as_dict(),
+            executor=asdict(self.executor.config),
+            created_at=timestamp(),
+        )
+        if persist or (persist is None and self.results_dir is not None):
+            if self.results_dir is None:
+                raise ValueError("persist=True requires a results_dir")
+            path = save_run(record, self.results_dir)
+            _LOGGER.info("persisted %s results to %s", scenario.name, path)
+        return record
+
+    # ------------------------------------------------------------------ #
+    # Shared preparation helpers
+    # ------------------------------------------------------------------ #
+    def _cell_seed(self, scenario: Scenario, *parts) -> int:
+        return derive_seed("engine." + ".".join([scenario.name, *map(str, parts)]))
+
+    def _eval_set(self, scenario: Scenario, predict_fn, max_samples: int):
+        from repro.eval.astuteness import select_correctly_classified
+
+        dataset = self.cache.get_dataset(scenario.config)
+        return select_correctly_classified(
+            predict_fn, dataset.test_images, dataset.test_labels, max_samples
+        )
+
+    # ------------------------------------------------------------------ #
+    # Table III
+    # ------------------------------------------------------------------ #
+    def _run_individual(self, scenario: Scenario):
+        from repro.eval.harness import IndividualModelResult
+
+        config = scenario.config
+        dataset = self.cache.get_dataset(config)
+        suite_config = config.attack_suite_config()
+        attack_names = [
+            name for name in build_attack_suite(suite_config) if name in config.attacks
+        ]
+        results: dict[str, IndividualModelResult] = {}
+        payloads = []
+        for model_name in config.models:
+            model = self.cache.get_defender(model_name, config)
+            images, labels = self._eval_set(scenario, model.predict, config.eval_samples)
+            results[model_name] = IndividualModelResult(
+                model_name=model_name,
+                dataset=config.dataset,
+                clean_accuracy=model.accuracy(dataset.test_images, dataset.test_labels),
+                eval_samples=len(labels),
+            )
+            spec = cells.model_spec(model_name, model)
+            for attack in attack_names:
+                payloads.append(
+                    {
+                        "seed": self._cell_seed(scenario, model_name, attack),
+                        "model": spec,
+                        "attack": attack,
+                        "suite_config": asdict(suite_config),
+                        "images": images,
+                        "labels": labels,
+                        "batch_size": config.attack_batch_size,
+                        "strategy": config.upsampling_strategy,
+                    }
+                )
+        for cell in self.executor.map(cells.run_individual_cell, payloads):
+            results[cell["model_name"]].robust[cell["attack"]] = {
+                "unshielded": cell["unshielded"],
+                "shielded": cell["shielded"],
+            }
+            _LOGGER.info(
+                "%s / %s: unshielded=%.3f shielded=%.3f",
+                cell["model_name"],
+                cell["attack"],
+                cell["unshielded"],
+                cell["shielded"],
+            )
+        # Restore the declared attack order (cells may return in any order).
+        for result in results.values():
+            result.robust = {name: result.robust[name] for name in attack_names}
+        return [results[model_name] for model_name in config.models]
+
+    # ------------------------------------------------------------------ #
+    # Table IV
+    # ------------------------------------------------------------------ #
+    def _ensemble_members(self, scenario: Scenario):
+        config = scenario.config
+        vit_model = self.cache.get_defender(config.ensemble_vit, config)
+        cnn_model = self.cache.get_defender(config.ensemble_cnn, config)
+        return vit_model, cnn_model
+
+    def _both_correct_eval_set(self, scenario: Scenario, vit_model, cnn_model, max_samples: int):
+        def both_correct(batch: np.ndarray) -> np.ndarray:
+            vit_ok = vit_model.predict(batch)
+            cnn_ok = cnn_model.predict(batch)
+            return np.where(vit_ok == cnn_ok, vit_ok, -1)
+
+        return self._eval_set(scenario, both_correct, max_samples)
+
+    def _saga_payload(self, scenario: Scenario, specs, setting, images, labels) -> dict:
+        config = scenario.config
+        return {
+            "seed": self._cell_seed(scenario, setting),
+            "vit": specs[0],
+            "cnn": specs[1],
+            "setting": setting,
+            "suite_config": asdict(config.attack_suite_config()),
+            "saga_steps": config.saga_steps,
+            "saga_alpha_cnn": config.saga_alpha_cnn,
+            "images": images,
+            "labels": labels,
+            "batch_size": config.attack_batch_size,
+            "strategy": config.upsampling_strategy,
+        }
+
+    def _run_ensemble(self, scenario: Scenario):
+        from repro.eval.harness import SHIELD_SETTINGS, EnsembleBenchmarkResult
+
+        config = scenario.config
+        dataset = self.cache.get_dataset(config)
+        vit_model, cnn_model = self._ensemble_members(scenario)
+        result = EnsembleBenchmarkResult(
+            dataset=config.dataset, vit_name=config.ensemble_vit, cnn_name=config.ensemble_cnn
+        )
+        vit_clean = vit_model.accuracy(dataset.test_images, dataset.test_labels)
+        cnn_clean = cnn_model.accuracy(dataset.test_images, dataset.test_labels)
+        result.clean_accuracy = {
+            "vit": vit_clean,
+            "cnn": cnn_clean,
+            # Expected accuracy under uniform random member selection.
+            "ensemble": (vit_clean + cnn_clean) / 2.0,
+        }
+        images, labels = self._both_correct_eval_set(
+            scenario, vit_model, cnn_model, config.eval_samples
+        )
+        result.eval_samples = len(labels)
+        specs = (
+            cells.model_spec(config.ensemble_vit, vit_model),
+            cells.model_spec(config.ensemble_cnn, cnn_model),
+        )
+        noise_payload = self._saga_payload(scenario, specs, "random", images, labels)
+        result.random_astuteness = cells.run_noise_cell(noise_payload)["robust"]
+        payloads = [
+            self._saga_payload(scenario, specs, setting, images, labels)
+            for setting in SHIELD_SETTINGS
+        ]
+        for cell in self.executor.map(cells.run_saga_cell, payloads):
+            result.robust[cell["setting"]] = cell["robust"]
+            _LOGGER.info(
+                "SAGA setting=%s vit=%.3f cnn=%.3f ensemble=%.3f",
+                cell["setting"],
+                cell["robust"]["vit"],
+                cell["robust"]["cnn"],
+                cell["robust"]["ensemble"],
+            )
+        result.robust = {setting: result.robust[setting] for setting in SHIELD_SETTINGS}
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Fig. 4
+    # ------------------------------------------------------------------ #
+    def _run_saga_samples(self, scenario: Scenario):
+        from repro.eval.harness import SHIELD_SETTINGS, SagaSampleStudy
+
+        config = scenario.config
+        sample_index = int(scenario.params.get("sample_index", 0))
+        vit_model, cnn_model = self._ensemble_members(scenario)
+        images, labels = self._both_correct_eval_set(
+            scenario, vit_model, cnn_model, sample_index + 1
+        )
+        if len(labels) <= sample_index:
+            raise ValueError("not enough correctly classified samples for the study")
+        image = images[sample_index : sample_index + 1]
+        label = labels[sample_index : sample_index + 1]
+        specs = (
+            cells.model_spec(config.ensemble_vit, vit_model),
+            cells.model_spec(config.ensemble_cnn, cnn_model),
+        )
+        study = SagaSampleStudy(dataset=config.dataset, label=int(label[0]))
+        payloads = [
+            self._saga_payload(scenario, specs, setting, image, label)
+            for setting in SHIELD_SETTINGS
+        ]
+        for cell in self.executor.map(cells.run_saga_sample_cell, payloads):
+            study.settings[cell["setting"]] = cell["outcome"]
+        study.settings = {setting: study.settings[setting] for setting in SHIELD_SETTINGS}
+        return study
+
+    # ------------------------------------------------------------------ #
+    # Fig. 3
+    # ------------------------------------------------------------------ #
+    def _run_geometry(self, scenario: Scenario):
+        params = scenario.params
+        return run_geometry_study(
+            epsilon=float(params.get("epsilon", 0.5)),
+            step_size=float(params.get("step_size", 0.08)),
+            steps=int(params.get("steps", 12)),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Ablations
+    # ------------------------------------------------------------------ #
+    def _single_model_eval(self, scenario: Scenario):
+        config = scenario.config
+        model_name = scenario.params["model"]
+        model = self.cache.get_defender(model_name, config)
+        images, labels = self._eval_set(scenario, model.predict, config.eval_samples)
+        return model_name, cells.model_spec(model_name, model), images, labels
+
+    def _run_epsilon_sweep(self, scenario: Scenario):
+        config = scenario.config
+        model_name, spec, images, labels = self._single_model_eval(scenario)
+        payloads = [
+            {
+                "seed": self._cell_seed(scenario, model_name, epsilon),
+                "model": spec,
+                "epsilon": float(epsilon),
+                "steps": config.max_attack_steps,
+                "strategy": config.upsampling_strategy,
+                "images": images,
+                "labels": labels,
+            }
+            for epsilon in scenario.params["epsilons"]
+        ]
+        rows = self.executor.map(cells.run_epsilon_cell, payloads)
+        return sorted(rows, key=lambda row: row["epsilon"])
+
+    def _run_upsampling(self, scenario: Scenario):
+        config = scenario.config
+        model_name, spec, images, labels = self._single_model_eval(scenario)
+        strategies = ("white_box", "random_noise", *scenario.params["strategies"])
+        payloads = [
+            {
+                "seed": self._cell_seed(scenario, model_name, strategy),
+                "model": spec,
+                "strategy": strategy,
+                "epsilon": 0.031 * config.epsilon_scale,
+                "steps": config.max_attack_steps,
+                "images": images,
+                "labels": labels,
+            }
+            for strategy in strategies
+        ]
+        cells_out = self.executor.map(cells.run_upsampling_cell, payloads)
+        return {cell["strategy"]: cell["robust_accuracy"] for cell in cells_out}

@@ -1,6 +1,9 @@
 """Experiment harness regenerating the paper's evaluation tables.
 
-Two experiment families are implemented:
+The harness declares *what* each experiment family measures; since the
+engine refactor, the orchestration (artifact caching, parallel cell
+execution, result persistence) lives in :mod:`repro.eval.engine` and the
+entry points below are thin wrappers over it:
 
 * :func:`run_individual_benchmark` — Table III: each defender model is
   attacked with the five white-box attacks (FGSM, PGD, MIM, C&W, APGD), once
@@ -14,29 +17,31 @@ Two experiment families are implemented:
 
 Model sizes, dataset sizes and attack budgets are configurable so the same
 code scales from unit-test size to the bench configuration used for
-EXPERIMENTS.md.
+EXPERIMENTS.md.  Passing an :class:`~repro.eval.engine.ExperimentEngine`
+shares its artifact cache across calls — the Table IV entry point then
+reuses the defenders Table III already trained.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.attacks.base import Attack
 from repro.attacks.bpda import make_attacker_view
-from repro.attacks.configs import AttackSuiteConfig, build_attack_suite, build_saga
-from repro.attacks.random_noise import RandomUniform
-from repro.attacks.saga import SelfAttentionGradientAttack
+from repro.attacks.configs import AttackSuiteConfig, build_attack_suite
 from repro.core.shielded_model import ShieldedModel
 from repro.data.synthetic import SyntheticImageDataset, make_dataset
 from repro.eval.astuteness import robust_accuracy, select_correctly_classified
 from repro.models.base import ImageClassifier
-from repro.models.ensemble import RandomSelectionEnsemble
 from repro.models.registry import build_model
 from repro.nn.trainer import fit_classifier
 from repro.utils.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.eval.engine import ExperimentEngine
 
 _LOGGER = get_logger("eval.harness")
 
@@ -88,6 +93,12 @@ class ExperimentConfig:
         )
 
 
+def _engine_for(engine: "ExperimentEngine | None") -> "ExperimentEngine":
+    from repro.eval.engine import ExperimentEngine
+
+    return engine if engine is not None else ExperimentEngine()
+
+
 # --------------------------------------------------------------------------- #
 # Dataset and defender preparation
 # --------------------------------------------------------------------------- #
@@ -108,7 +119,11 @@ def prepare_dataset(config: ExperimentConfig) -> SyntheticImageDataset:
 def train_defender(
     model_name: str, dataset: SyntheticImageDataset, config: ExperimentConfig
 ) -> ImageClassifier:
-    """Instantiate and train one defender model on the experiment dataset."""
+    """Instantiate and train one defender model on the experiment dataset.
+
+    Prefer :meth:`repro.eval.engine.ArtifactCache.get_defender`, which skips
+    the training entirely when an identically-configured defender exists.
+    """
     model = build_model(
         model_name,
         num_classes=dataset.num_classes,
@@ -131,14 +146,9 @@ def run_attack_in_batches(
     attack: Attack, view, images: np.ndarray, labels: np.ndarray, batch_size: int
 ) -> np.ndarray:
     """Run an attack over a dataset in mini-batches, returning the adversarials."""
-    pieces = []
-    for start in range(0, len(labels), batch_size):
-        stop = start + batch_size
-        result = attack.run(view, images[start:stop], labels[start:stop])
-        pieces.append(result.adversarials)
-    if not pieces:
-        return images[:0]
-    return np.concatenate(pieces, axis=0)
+    from repro.eval.engine.cells import run_attack_in_batches as _run
+
+    return _run(attack, view, images, labels, batch_size)
 
 
 # --------------------------------------------------------------------------- #
@@ -189,7 +199,7 @@ def evaluate_individual_model(
             "unshielded": robust_accuracy(model.predict, adversarials_clear, eval_labels),
             "shielded": robust_accuracy(model.predict, adversarials_shielded, eval_labels),
         }
-        _LOGGER.warning(
+        _LOGGER.info(
             "%s / %s: unshielded=%.3f shielded=%.3f",
             model_name,
             attack_name,
@@ -199,14 +209,14 @@ def evaluate_individual_model(
     return result
 
 
-def run_individual_benchmark(config: ExperimentConfig) -> list[IndividualModelResult]:
-    """Regenerate one dataset block of Table III."""
-    dataset = prepare_dataset(config)
-    results = []
-    for model_name in config.models:
-        model = train_defender(model_name, dataset, config)
-        results.append(evaluate_individual_model(model, model_name, dataset, config))
-    return results
+def run_individual_benchmark(
+    config: ExperimentConfig, engine: "ExperimentEngine | None" = None
+) -> list[IndividualModelResult]:
+    """Regenerate one dataset block of Table III (through the engine)."""
+    from repro.eval.engine import Scenario
+
+    scenario = Scenario(name=f"individual_{config.dataset}", kind="individual", config=config)
+    return _engine_for(engine).run(scenario, persist=False).results
 
 
 # --------------------------------------------------------------------------- #
@@ -229,94 +239,14 @@ class EnsembleBenchmarkResult:
     eval_samples: int = 0
 
 
-def _views_for_setting(
-    setting: str,
-    vit_model: ImageClassifier,
-    cnn_model: ImageClassifier,
-    strategy: str,
-):
-    """Build the attacker views of the two members for one shield setting."""
-    if setting not in SHIELD_SETTINGS:
-        raise ValueError(f"unknown shield setting {setting!r}")
-    shield_vit = setting in ("vit_only", "both")
-    shield_cnn = setting in ("cnn_only", "both")
-    vit_target = ShieldedModel(vit_model) if shield_vit else vit_model
-    cnn_target = ShieldedModel(cnn_model) if shield_cnn else cnn_model
-    return (
-        make_attacker_view(vit_target, strategy=strategy),
-        make_attacker_view(cnn_target, strategy=strategy),
-    )
-
-
-def run_ensemble_benchmark(config: ExperimentConfig) -> EnsembleBenchmarkResult:
+def run_ensemble_benchmark(
+    config: ExperimentConfig, engine: "ExperimentEngine | None" = None
+) -> EnsembleBenchmarkResult:
     """Regenerate one dataset block of Table IV (SAGA against the ensemble)."""
-    dataset = prepare_dataset(config)
-    vit_model = train_defender(config.ensemble_vit, dataset, config)
-    cnn_model = train_defender(config.ensemble_cnn, dataset, config)
-    ensemble = RandomSelectionEnsemble([vit_model, cnn_model])
-    result = EnsembleBenchmarkResult(
-        dataset=config.dataset, vit_name=config.ensemble_vit, cnn_name=config.ensemble_cnn
-    )
-    # Baseline clean accuracy over the held-out test split.
-    result.clean_accuracy = {
-        "vit": vit_model.accuracy(dataset.test_images, dataset.test_labels),
-        "cnn": cnn_model.accuracy(dataset.test_images, dataset.test_labels),
-        "ensemble": ensemble.accuracy(dataset.test_images, dataset.test_labels),
-    }
-    # Evaluation set: samples both members classify correctly (so the ensemble
-    # is also correct regardless of the random selection).
-    def both_correct(batch: np.ndarray) -> np.ndarray:
-        vit_ok = vit_model.predict(batch)
-        cnn_ok = cnn_model.predict(batch)
-        return np.where(vit_ok == cnn_ok, vit_ok, -1)
+    from repro.eval.engine import Scenario
 
-    eval_images, eval_labels = select_correctly_classified(
-        both_correct, dataset.test_images, dataset.test_labels, config.eval_samples
-    )
-    result.eval_samples = len(eval_labels)
-    suite_config = config.attack_suite_config()
-    # Random-noise baseline astuteness.
-    random_attack = RandomUniform(
-        epsilon=build_saga(suite_config).epsilon
-    )
-    noisy = random_attack.run(make_attacker_view(vit_model), eval_images, eval_labels).adversarials
-    result.random_astuteness = {
-        "vit": robust_accuracy(vit_model.predict, noisy, eval_labels),
-        "cnn": robust_accuracy(cnn_model.predict, noisy, eval_labels),
-        "ensemble": robust_accuracy(lambda x: ensemble.predict(x), noisy, eval_labels),
-    }
-    # SAGA under the four shield settings.
-    for setting in SHIELD_SETTINGS:
-        saga = build_saga(
-            suite_config, steps=config.saga_steps, alpha_cnn=config.saga_alpha_cnn
-        )
-        vit_view, cnn_view = _views_for_setting(
-            setting, vit_model, cnn_model, config.upsampling_strategy
-        )
-        adversarials = []
-        for start in range(0, len(eval_labels), config.attack_batch_size):
-            stop = start + config.attack_batch_size
-            adversarials.append(
-                saga.craft_against_ensemble(
-                    vit_view, cnn_view, eval_images[start:stop], eval_labels[start:stop]
-                )
-            )
-        adversarials = (
-            np.concatenate(adversarials, axis=0) if adversarials else eval_images[:0]
-        )
-        result.robust[setting] = {
-            "vit": robust_accuracy(vit_model.predict, adversarials, eval_labels),
-            "cnn": robust_accuracy(cnn_model.predict, adversarials, eval_labels),
-            "ensemble": robust_accuracy(lambda x: ensemble.predict(x), adversarials, eval_labels),
-        }
-        _LOGGER.warning(
-            "SAGA setting=%s vit=%.3f cnn=%.3f ensemble=%.3f",
-            setting,
-            result.robust[setting]["vit"],
-            result.robust[setting]["cnn"],
-            result.robust[setting]["ensemble"],
-        )
-    return result
+    scenario = Scenario(name=f"ensemble_{config.dataset}", kind="ensemble", config=config)
+    return _engine_for(engine).run(scenario, persist=False).results
 
 
 # --------------------------------------------------------------------------- #
@@ -332,44 +262,18 @@ class SagaSampleStudy:
     settings: dict[str, dict[str, float | int | bool]] = field(default_factory=dict)
 
 
-def saga_sample_study(config: ExperimentConfig, sample_index: int = 0) -> SagaSampleStudy:
+def saga_sample_study(
+    config: ExperimentConfig,
+    sample_index: int = 0,
+    engine: "ExperimentEngine | None" = None,
+) -> SagaSampleStudy:
     """Reproduce Fig. 4: SAGA perturbation and outcome per shielding setting."""
-    dataset = prepare_dataset(config)
-    vit_model = train_defender(config.ensemble_vit, dataset, config)
-    cnn_model = train_defender(config.ensemble_cnn, dataset, config)
+    from repro.eval.engine import Scenario
 
-    def both_correct(batch: np.ndarray) -> np.ndarray:
-        vit_ok = vit_model.predict(batch)
-        cnn_ok = cnn_model.predict(batch)
-        return np.where(vit_ok == cnn_ok, vit_ok, -1)
-
-    eval_images, eval_labels = select_correctly_classified(
-        both_correct, dataset.test_images, dataset.test_labels, sample_index + 1
+    scenario = Scenario(
+        name=f"saga_sample_{config.dataset}",
+        kind="saga_samples",
+        config=config,
+        params={"sample_index": sample_index},
     )
-    if len(eval_labels) <= sample_index:
-        raise ValueError("not enough correctly classified samples for the study")
-    image = eval_images[sample_index : sample_index + 1]
-    label = eval_labels[sample_index : sample_index + 1]
-    study = SagaSampleStudy(dataset=config.dataset, label=int(label[0]))
-    suite_config = config.attack_suite_config()
-    for setting in SHIELD_SETTINGS:
-        saga = build_saga(
-            suite_config, steps=config.saga_steps, alpha_cnn=config.saga_alpha_cnn
-        )
-        vit_view, cnn_view = _views_for_setting(
-            setting, vit_model, cnn_model, config.upsampling_strategy
-        )
-        adversarial = saga.craft_against_ensemble(vit_view, cnn_view, image, label)
-        perturbation = adversarial - image
-        vit_prediction = int(vit_model.predict(adversarial)[0])
-        cnn_prediction = int(cnn_model.predict(adversarial)[0])
-        study.settings[setting] = {
-            "linf": float(np.abs(perturbation).max()),
-            "l2": float(np.sqrt((perturbation**2).sum())),
-            "vit_prediction": vit_prediction,
-            "cnn_prediction": cnn_prediction,
-            "attack_success": bool(
-                vit_prediction != int(label[0]) or cnn_prediction != int(label[0])
-            ),
-        }
-    return study
+    return _engine_for(engine).run(scenario, persist=False).results

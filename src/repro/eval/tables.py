@@ -1,6 +1,14 @@
-"""Plain-text formatting of the reproduced tables (Tables I, II, III, IV)."""
+"""Plain-text formatting of the reproduced tables and figure summaries.
+
+Tables I / II are formatted from static model / parameter data; Tables III /
+IV, the Fig. 3 / Fig. 4 summaries and the ablations are rendered either from
+live result dataclasses or — via :func:`render_run` — from the JSON run
+records the experiment engine persists under ``results/runs/``.
+"""
 
 from __future__ import annotations
+
+from typing import Any, Mapping
 
 from repro.attacks.configs import TABLE2_PARAMETERS
 from repro.core.memory_cost import format_bytes, paper_table1
@@ -96,3 +104,127 @@ def format_table4(result: EnsembleBenchmarkResult) -> str:
             f"{result.robust.get('both', {}).get(row, float('nan')) * 100:>8.1f}%"
         )
     return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# Figure and ablation summaries
+# --------------------------------------------------------------------------- #
+def format_fig3(study) -> str:
+    """Fig. 3 summary: attack trajectories on the toy problem."""
+    origin = [round(float(value), 3) for value in list(study.origin)]
+    lines = [
+        f"Figure 3 — attack geometry (epsilon={study.epsilon}, label={study.label})",
+        f"origin: {origin}",
+    ]
+    trajectories = study.trajectories
+    items = trajectories.items() if isinstance(trajectories, Mapping) else trajectories
+    for name, trajectory in items:
+        if isinstance(trajectory, Mapping):
+            points, max_linf = trajectory["points"], trajectory["max_linf"]
+            crossed = trajectory["crossed_boundary"]
+            end = points[-1]
+        else:
+            points, max_linf = trajectory.points, trajectory.max_linf
+            crossed = trajectory.crossed_boundary
+            end = trajectory.end
+        end = [round(float(value), 3) for value in list(end)]
+        lines.append(
+            f"  {name:5s} steps={len(points) - 1:2d} end={end} "
+            f"max_linf={max_linf:.3f} crossed_boundary={crossed}"
+        )
+    return "\n".join(lines)
+
+
+def format_fig4(study) -> str:
+    """Fig. 4 summary: per-setting SAGA outcome on one sample."""
+    lines = [
+        f"Figure 4 — SAGA on one correctly classified sample (true label {study.label})",
+        f"{'Setting':<10}{'linf':>8}{'l2':>8}{'ViT pred':>10}{'CNN pred':>10}{'Attack':>10}",
+    ]
+    for setting, outcome in study.settings.items():
+        verdict = "success" if outcome["attack_success"] else "failure"
+        lines.append(
+            f"{setting:<10}{outcome['linf']:>8.4f}{outcome['l2']:>8.3f}"
+            f"{outcome['vit_prediction']:>10d}{outcome['cnn_prediction']:>10d}{verdict:>10}"
+        )
+    return "\n".join(lines)
+
+
+def format_epsilon_sweep(rows: list[Mapping[str, Any]]) -> str:
+    """Ablation: PGD robust accuracy across ε budgets."""
+    lines = [
+        "Ablation — PGD robust accuracy vs epsilon (ViT-B/16 analogue, CIFAR-10 stand-in)",
+        f"{'epsilon':>10}{'unshielded':>14}{'shielded':>12}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['epsilon']:>10.3f}{row['unshielded'] * 100:>13.1f}%{row['shielded'] * 100:>11.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def format_upsampling_ablation(results: Mapping[str, float]) -> str:
+    """Ablation: attacker upsampling substitutes against a shielded BiT."""
+    lines = ["Ablation — robust accuracy of a shielded BiT under different attacker substitutes"]
+    for name, value in results.items():
+        lines.append(f"  {name:16s} robust accuracy = {value * 100:.1f}%")
+    return "\n".join(lines)
+
+
+def render_run(record) -> str:
+    """Render a run record (live :class:`~repro.eval.engine.RunRecord` or a
+    JSON dict loaded from ``results/runs/``) into its printable block."""
+    from repro.eval.engine.results import (
+        ensemble_result_from_payload,
+        individual_results_from_payload,
+        saga_study_from_payload,
+    )
+
+    if isinstance(record, Mapping):
+        kind, results = record["kind"], record["results"]
+        hydrate = True
+    else:
+        kind, results = record.kind, record.results
+        hydrate = isinstance(results, (list, dict)) and not _is_dataclass_payload(results)
+    if kind == "individual":
+        if hydrate:
+            results = individual_results_from_payload(results)
+        return format_table3(results)
+    if kind == "ensemble":
+        if hydrate:
+            results = ensemble_result_from_payload(results)
+        return format_table4(results)
+    if kind == "saga_samples":
+        if hydrate:
+            results = saga_study_from_payload(results)
+        return format_fig4(results)
+    if kind == "geometry":
+        if isinstance(record, Mapping):
+            return _format_fig3_from_dict(results)
+        return format_fig3(results)
+    if kind == "epsilon_sweep":
+        return format_epsilon_sweep(results)
+    if kind == "upsampling":
+        return format_upsampling_ablation(results)
+    raise ValueError(f"cannot render unknown scenario kind {kind!r}")
+
+
+def _is_dataclass_payload(results) -> bool:
+    import dataclasses
+
+    probe = results[0] if isinstance(results, list) and results else results
+    return dataclasses.is_dataclass(probe)
+
+
+class _DictStudy:
+    """Attribute view over a JSON-decoded geometry study."""
+
+    def __init__(self, payload: Mapping[str, Any]):
+        self.origin = payload["origin"]
+        self.label = payload["label"]
+        self.epsilon = payload["epsilon"]
+        self.trajectories = payload["trajectories"]
+
+
+def _format_fig3_from_dict(payload: Mapping[str, Any]) -> str:
+    return format_fig3(_DictStudy(payload))

@@ -4,23 +4,24 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.autodiff.tensor import get_default_dtype
 from repro.utils.rng import get_rng
 
 
 def zeros(shape: tuple[int, ...]) -> np.ndarray:
     """All-zero initialisation (biases, positional embeddings)."""
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=get_default_dtype())
 
 
 def ones(shape: tuple[int, ...]) -> np.ndarray:
     """All-one initialisation (normalisation scales)."""
-    return np.ones(shape, dtype=np.float64)
+    return np.ones(shape, dtype=get_default_dtype())
 
 
 def normal(shape: tuple[int, ...], std: float = 0.02, rng: np.random.Generator | None = None) -> np.ndarray:
     """Truncated-free Gaussian initialisation (ViT token/position embeddings)."""
     rng = rng if rng is not None else get_rng("init")
-    return rng.normal(0.0, std, size=shape).astype(np.float64)
+    return rng.normal(0.0, std, size=shape).astype(get_default_dtype())
 
 
 def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
@@ -28,7 +29,7 @@ def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator | None = Non
     rng = rng if rng is not None else get_rng("init")
     fan_in, fan_out = _fans(shape)
     limit = float(np.sqrt(6.0 / (fan_in + fan_out)))
-    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+    return rng.uniform(-limit, limit, size=shape).astype(get_default_dtype())
 
 
 def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
@@ -36,7 +37,7 @@ def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator | None = Non
     rng = rng if rng is not None else get_rng("init")
     fan_in, _ = _fans(shape)
     std = float(np.sqrt(2.0 / fan_in))
-    return rng.normal(0.0, std, size=shape).astype(np.float64)
+    return rng.normal(0.0, std, size=shape).astype(get_default_dtype())
 
 
 def _fans(shape: tuple[int, ...]) -> tuple[int, int]:

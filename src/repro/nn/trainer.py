@@ -69,9 +69,15 @@ def fit_classifier(
     lr: float = 1e-3,
     optimizer: str = "adam",
     verbose: bool = False,
+    rng: np.random.Generator | None = None,
 ) -> TrainingHistory:
-    """Train a classifier on an in-memory dataset with cross-entropy loss."""
-    loader = DataLoader(images, labels, batch_size=batch_size, shuffle=True)
+    """Train a classifier on an in-memory dataset with cross-entropy loss.
+
+    ``rng`` overrides the shuffle generator; the experiment engine passes a
+    per-defender stream so a training run does not depend on how many other
+    models were trained before it (a requirement for artifact-cache keys).
+    """
+    loader = DataLoader(images, labels, batch_size=batch_size, shuffle=True, rng=rng)
     optim = make_optimizer(model, optimizer, lr=lr)
     history = TrainingHistory()
     for epoch in range(epochs):
@@ -79,6 +85,6 @@ def fit_classifier(
         history.losses.append(loss)
         history.accuracies.append(accuracy)
         if verbose:
-            _LOGGER.warning("epoch %d/%d loss=%.4f acc=%.3f", epoch + 1, epochs, loss, accuracy)
+            _LOGGER.info("epoch %d/%d loss=%.4f acc=%.3f", epoch + 1, epochs, loss, accuracy)
     model.eval()
     return history

@@ -1,0 +1,154 @@
+"""CLI entry point for the experiment engine.
+
+Run any registered scenario (table, figure or ablation) by name::
+
+    python -m repro.run table3_cifar10
+    python -m repro.run table4_cifar10 --scale full --workers 8
+    python -m repro.run ablation_epsilon --set eval_samples=32 --set epsilon_scale=1.5
+    python -m repro.run --list
+
+Results are printed as the paper's tables and persisted as JSON under
+``--results-dir`` (default ``results/``); trained defenders are cached under
+``results/cache/`` and reused by later runs — including the pytest bench
+suite — so repeated invocations never retrain an identical defender.
+Refresh EXPERIMENTS.md from the persisted JSON afterwards with
+``python scripts/update_experiments.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.autodiff.tensor import set_default_dtype
+from repro.eval.engine import (
+    BACKENDS,
+    CellExecutor,
+    ExecutorConfig,
+    ExperimentEngine,
+    SCALES,
+    list_scenarios,
+)
+from repro.eval.tables import render_run
+from repro.utils.logging import set_verbosity
+from repro.utils.rng import set_global_seed
+
+
+def _parse_override(item: str) -> tuple[str, object]:
+    """Parse one ``key=value`` override with a light literal interpretation."""
+    if "=" not in item:
+        raise argparse.ArgumentTypeError(f"override {item!r} is not of the form key=value")
+    key, raw = item.split("=", 1)
+    value: object = raw
+    if raw.lower() in ("true", "false"):
+        value = raw.lower() == "true"
+    elif raw.lower() in ("none", "null"):
+        value = None
+    elif "," in raw:
+        value = tuple(part.strip() for part in raw.split(",") if part.strip())
+    else:
+        for cast in (int, float):
+            try:
+                value = cast(raw)
+                break
+            except ValueError:
+                continue
+    return key.strip(), value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.run",
+        description="Run a registered PELTA experiment scenario through the engine.",
+    )
+    parser.add_argument("scenario", nargs="?", help="scenario name (see --list)")
+    parser.add_argument("--list", action="store_true", help="list registered scenarios and exit")
+    parser.add_argument(
+        "--scale", default="bench", choices=sorted(SCALES), help="configuration preset"
+    )
+    parser.add_argument("--seed", type=int, default=20230913, help="global RNG seed")
+    parser.add_argument(
+        "--dtype", default=None, choices=("float32", "float64"), help="default tensor dtype"
+    )
+    parser.add_argument(
+        "--backend", default="auto", choices=BACKENDS, help="cell execution backend"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="max parallel cells (default: serial)"
+    )
+    parser.add_argument(
+        "--results-dir",
+        default="results",
+        help="directory for JSON runs and the defender cache (default: results/)",
+    )
+    parser.add_argument(
+        "--no-persist", action="store_true", help="do not write JSON results or cache to disk"
+    )
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override an ExperimentConfig field (repeatable)",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true", help="INFO-level progress logs")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name, description in list_scenarios().items():
+            print(f"{name:<22} {description}")
+        return 0
+    if not args.scenario:
+        build_parser().print_usage()
+        print("error: a scenario name (or --list) is required", file=sys.stderr)
+        return 2
+    if args.verbose:
+        import logging
+
+        set_verbosity(logging.INFO)
+    if args.dtype:
+        set_default_dtype(args.dtype)
+    set_global_seed(args.seed)
+    try:
+        overrides = dict(_parse_override(item) for item in args.overrides)
+        # Tuple-typed config fields (models, attacks, ...) accept a single
+        # bare value on the command line.
+        from dataclasses import fields
+
+        from repro.eval.harness import ExperimentConfig
+
+        for field in fields(ExperimentConfig):
+            if isinstance(field.default, tuple) and isinstance(overrides.get(field.name), str):
+                overrides[field.name] = (overrides[field.name],)
+        executor = CellExecutor(ExecutorConfig(backend=args.backend, max_workers=args.workers))
+        engine = ExperimentEngine(
+            executor=executor,
+            results_dir=None if args.no_persist else args.results_dir,
+        )
+        record = engine.run(args.scenario, scale=args.scale, **overrides)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    except (argparse.ArgumentTypeError, TypeError, ValueError) as error:
+        # Bad override / executor configuration: a clean message, not a
+        # traceback (typo'd config fields surface as TypeError from the
+        # ExperimentConfig constructor).
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_run(record))
+    stats = record.cache_stats
+    print(
+        f"\n[{record.scenario}] {record.duration_seconds:.1f}s, "
+        f"{stats.get('trainings', 0)} defender(s) trained, "
+        f"{stats.get('defender_hits', 0)} cache hit(s)"
+        + ("" if args.no_persist else f"; JSON under {args.results_dir}/runs/")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

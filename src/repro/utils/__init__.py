@@ -2,7 +2,7 @@
 
 from repro.utils.config import ConfigError, config_from_dict, config_to_dict
 from repro.utils.logging import get_logger
-from repro.utils.rng import RngRegistry, get_rng, set_global_seed, spawn_rng
+from repro.utils.rng import RngRegistry, get_global_seed, get_rng, set_global_seed, spawn_rng
 from repro.utils.serialization import load_state, save_state
 from repro.utils.timing import Timer
 
@@ -12,6 +12,7 @@ __all__ = [
     "Timer",
     "config_from_dict",
     "config_to_dict",
+    "get_global_seed",
     "get_logger",
     "get_rng",
     "load_state",

@@ -70,6 +70,21 @@ def set_global_seed(seed: int) -> None:
     _REGISTRY.reset(seed)
 
 
+def get_global_seed() -> int:
+    """Base seed of the global RNG registry (cache keys depend on it)."""
+    return _REGISTRY.seed
+
+
+def derive_seed(name: str, base_seed: int | None = None) -> int:
+    """Deterministic child seed for ``name`` (defaults to the global base seed).
+
+    The experiment engine uses this to hand every parallel cell its own seed:
+    the derivation depends only on (base seed, name), never on execution
+    order, so fanned-out cells are reproducible and race-free.
+    """
+    return _derive_seed(base_seed if base_seed is not None else _REGISTRY.seed, name)
+
+
 def get_rng(name: str = "default") -> np.random.Generator:
     """Return the shared generator registered under ``name``."""
     return _REGISTRY.get(name)

@@ -1,0 +1,67 @@
+"""Tests of the configurable default floating dtype (REPRO_DTYPE satellite)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autodiff.tensor import Tensor, get_default_dtype, set_default_dtype
+
+
+@pytest.fixture(autouse=True)
+def _restore_dtype():
+    previous = get_default_dtype()
+    yield
+    set_default_dtype(previous)
+
+
+class TestDefaultDtype:
+    def test_defaults_to_float64(self):
+        assert get_default_dtype() == np.dtype(np.float64)
+        assert Tensor([1.0, 2.0]).data.dtype == np.float64
+
+    def test_set_default_dtype_affects_new_tensors(self):
+        set_default_dtype("float32")
+        assert get_default_dtype() == np.dtype(np.float32)
+        assert Tensor([1.0, 2.0]).data.dtype == np.float32
+        assert (Tensor([1.0]) + Tensor([2.0])).data.dtype == np.float32
+
+    def test_aliases_and_numpy_dtypes_accepted(self):
+        assert set_default_dtype("f32") == np.dtype(np.float32)
+        assert set_default_dtype(np.float64) == np.dtype(np.float64)
+        assert set_default_dtype("double") == np.dtype(np.float64)
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            set_default_dtype("float16")
+        with pytest.raises(ValueError):
+            set_default_dtype(np.int32)
+
+    def test_initialisers_follow_the_default(self):
+        from repro.nn import init
+
+        set_default_dtype("float32")
+        assert init.zeros((2, 2)).dtype == np.float32
+        assert init.ones((2,)).dtype == np.float32
+        assert init.xavier_uniform((4, 4)).dtype == np.float32
+        assert init.kaiming_normal((4, 4)).dtype == np.float32
+
+    def test_float32_training_and_attack_end_to_end(self):
+        from repro.attacks import FGSM, make_attacker_view
+        from repro.models.simple import SimpleCNN, SimpleCNNConfig
+        from repro.nn.trainer import fit_classifier
+
+        set_default_dtype("float32")
+        model = SimpleCNN(
+            SimpleCNNConfig(in_channels=3, num_classes=2, widths=(4, 8), image_size=8)
+        )
+        rng = np.random.default_rng(0)
+        images = rng.uniform(size=(8, 3, 8, 8)).astype(np.float32)
+        labels = np.array([0, 1] * 4)
+        fit_classifier(model, images, labels, epochs=1, batch_size=4)
+        for parameter in model.parameters():
+            assert parameter.data.dtype == np.float32
+        adversarials = (
+            FGSM(epsilon=0.05).run(make_attacker_view(model), images, labels).adversarials
+        )
+        assert adversarials.dtype == np.float32
