@@ -1,0 +1,55 @@
+"""Federated round throughput: serial vs thread vs process transports.
+
+Runs the ``fl_fedavg`` scenario through the experiment engine once per
+transport backend and reports updates/second and bytes moved per round.
+Because every client task carries its own derived seed, the three backends
+must produce bit-identical round histories; every pair of backends run in
+the same bench session is asserted identical here (the definitive parity
+test, independent of selection order, lives in
+``tests/fl/test_runtime.py``), so the numbers measure pure transport
+overhead.  Results are persisted as engine JSON under ``results/runs``
+like every other bench (the record's ``executor`` block identifies the
+backend of the last run).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, RESULTS_DIR, run_once
+from repro.eval.engine import ExecutorConfig, ExperimentEngine
+from repro.eval.tables import render_run
+
+#: Round histories per backend, for the cross-backend parity assertion.
+_HISTORIES: dict[str, list] = {}
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+def test_fl_round_throughput(benchmark, backend):
+    """One fl_fedavg run per transport; identical histories, timed fan-out."""
+    engine = ExperimentEngine(
+        results_dir=RESULTS_DIR,
+        executor=ExecutorConfig(backend=backend, max_workers=None),
+    )
+    record = run_once(benchmark, engine.run, "fl_fedavg", scale=BENCH_SCALE)
+    rounds = record.results["rounds"]
+    updates = sum(len(entry["participating_clients"]) for entry in rounds)
+    bytes_moved = sum(entry["update_bytes"] for entry in rounds)
+    rate = updates / max(record.duration_seconds, 1e-9)
+    print()
+    print(render_run(record))
+    # On small machines the executor may downgrade a parallel backend to
+    # serial (workers clamp); report what actually carried the rounds.
+    resolved = record.results["transport"]
+    print(
+        f"[{backend} -> {resolved}] {updates} client updates in "
+        f"{record.duration_seconds:.2f}s = {rate:.1f} updates/s, "
+        f"{bytes_moved / 1e6:.2f} MB of updates per run"
+    )
+    assert updates > 0
+    assert bytes_moved > 0
+    # Transport parity: every backend run in this session must agree with
+    # every other, whichever subset was selected and in whatever order.
+    for other_backend, other_rounds in _HISTORIES.items():
+        assert rounds == other_rounds, f"{backend} history diverges from {other_backend}"
+    _HISTORIES[backend] = rounds

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.attacks import PGD
 from repro.data import iid_partition, make_cifar10_like
-from repro.fl import ClientConfig, CompromisedClient, FLServer, FederatedRunConfig, FederatedTrainer, HonestClient
+from repro.fl import ClientConfig, CompromisedClient, FederationRuntime, HonestClient
 from repro.models import SimpleCNN, SimpleCNNConfig
 from repro.utils import set_global_seed
 
@@ -55,9 +55,8 @@ def main() -> None:
     )
     clients.append(compromised)
 
-    server = FLServer(model_factory())
-    trainer = FederatedTrainer(server, clients, FederatedRunConfig(num_rounds=3))
-    result = trainer.run(eval_images=dataset.test_images, eval_labels=dataset.test_labels)
+    runtime = FederationRuntime(global_model=model_factory(), clients=clients)
+    result = runtime.run(3, dataset.test_images, dataset.test_labels)
     print("federated training accuracy per round:", [f"{a:.1%}" for a in result.accuracies])
 
     # The compromised client now probes its local copy of the broadcast model.
@@ -70,7 +69,7 @@ def main() -> None:
     print(f"attack success rate WITH PELTA on the client's copy:    {probe_shielded.success_rate:.1%}")
 
     # The defense never touches the aggregation path: the global model is intact.
-    final_accuracy = server.global_model.accuracy(dataset.test_images, dataset.test_labels)
+    final_accuracy = runtime.global_model.accuracy(dataset.test_images, dataset.test_labels)
     print(f"global model accuracy after all rounds: {final_accuracy:.1%}")
 
 

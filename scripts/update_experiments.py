@@ -37,6 +37,7 @@ SECTIONS = {
     "fig4": "fig4_saga_sample",
     "ablation_epsilon": "ablation_epsilon",
     "ablation_upsampling": "ablation_upsampling",
+    "federated": "fl_",
 }
 
 _MARKER = "<!-- BEGIN RESULTS: {key} -->"

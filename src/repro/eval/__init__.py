@@ -30,6 +30,7 @@ from repro.eval.harness import (
 )
 from repro.eval.tables import (
     format_epsilon_sweep,
+    format_federated,
     format_fig3,
     format_fig4,
     format_table1,
@@ -65,6 +66,7 @@ __all__ = [
     "evaluate_attack",
     "evaluate_individual_model",
     "format_epsilon_sweep",
+    "format_federated",
     "format_fig3",
     "format_fig4",
     "format_table1",

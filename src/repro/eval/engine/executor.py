@@ -70,6 +70,10 @@ class CellExecutor:
     def __init__(self, config: ExecutorConfig | None = None):
         self.config = resolve_executor_config(config)
 
+    def resolve(self, num_tasks: int) -> tuple[str, int]:
+        """The (backend, workers) a batch of ``num_tasks`` would actually use."""
+        return self._resolved(num_tasks)
+
     def _resolved(self, num_tasks: int) -> tuple[str, int]:
         backend = self.config.backend
         workers = self.config.max_workers

@@ -1,0 +1,369 @@
+"""Engine execution of the federated (``fl_*``) scenario family.
+
+Each scenario builds a client population over the cached synthetic dataset,
+drives it through a :class:`~repro.fl.runtime.runtime.FederationRuntime`
+whose transport reuses the engine executor's backend choice, and returns a
+JSON-able payload (per-round histories plus task-specific metrics):
+
+* ``fl_fedavg`` — plain FedAvg over honest clients; the transport
+  throughput baseline;
+* ``fl_robust_aggregation`` — model-replacement (boosted) attackers vs
+  FedAvg, trimmed mean and coordinate-wise median;
+* ``fl_poisoning`` — backdoor success vs poisoned-data fraction under
+  FedAvg;
+* ``fl_shielded_global`` — TEE-attested clients train the global model over
+  sealed channels, then its evasion robustness is measured with and without
+  the PELTA shield.
+
+Population construction derives all randomness from the global seed plus
+stable stream names, so a scenario's results are independent of the
+transport backend.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import functools
+import hashlib
+
+import numpy as np
+
+from repro.attacks.bpda import make_attacker_view
+from repro.attacks.configs import table2_parameters
+from repro.attacks.pgd import PGD
+from repro.core.shielded_model import ShieldedModel
+from repro.data.splits import dirichlet_partition, iid_partition
+from repro.eval.astuteness import robust_accuracy, select_correctly_classified
+from repro.eval.engine.cache import ArtifactCache
+from repro.eval.engine.executor import CellExecutor
+from repro.eval.engine.registry import Scenario
+from repro.fl.aggregation import get_aggregation_rule, trimmed_mean
+from repro.fl.client import ClientConfig, CompromisedClient, HonestClient, ModelPoisoningClient
+from repro.fl.poisoning import add_backdoor_trigger
+from repro.fl.runtime import FederationRuntime, transport_from_executor
+from repro.models.registry import build_model
+from repro.tee.enclave import TrustZoneEnclave
+from repro.utils.logging import get_logger
+from repro.utils.rng import derive_seed, get_global_seed
+
+_LOGGER = get_logger("eval.engine.federated")
+
+
+# --------------------------------------------------------------------------- #
+# Population construction
+# --------------------------------------------------------------------------- #
+def _probe_attack(scenario: Scenario) -> PGD:
+    """The (tiny) evasion attack a compromised client probes with."""
+    params = table2_parameters(scenario.config.dataset)
+    epsilon = params.epsilon * scenario.config.epsilon_scale
+    return PGD(
+        epsilon=epsilon,
+        step_size=epsilon / 4,
+        steps=2,
+        rng=np.random.default_rng(derive_seed(f"fl.scenario.{scenario.name}.probe")),
+    )
+
+
+def _build_population(scenario: Scenario, cache: ArtifactCache, with_enclaves: bool = False):
+    """Build (model_factory, clients, dataset) for a federated scenario."""
+    config = scenario.config
+    params = scenario.params
+    dataset = cache.get_dataset(config)
+    model_name = params.get("model", "simple_cnn")
+    model_factory = functools.partial(
+        build_model,
+        model_name,
+        num_classes=dataset.num_classes,
+        image_size=config.image_size,
+        in_channels=dataset.image_shape[0],
+    )
+    num_clients = int(params.get("num_clients", 4))
+    partition_rng = np.random.default_rng(
+        derive_seed(f"fl.scenario.{scenario.name}.partition")
+    )
+    if params.get("partition", "iid") == "dirichlet":
+        partitions = dirichlet_partition(
+            dataset.train_labels,
+            num_clients,
+            alpha=float(params.get("dirichlet_alpha", 0.5)),
+            rng=partition_rng,
+        )
+    else:
+        partitions = iid_partition(dataset.train_labels, num_clients, rng=partition_rng)
+    client_config = ClientConfig(
+        local_epochs=int(params.get("local_epochs", 1)),
+        batch_size=int(params.get("client_batch_size", 16)),
+        learning_rate=float(params.get("client_lr", 0.05)),
+    )
+    num_compromised = int(params.get("num_compromised", 0))
+    clients: list[HonestClient] = []
+    for index, part in enumerate(partitions):
+        client_id = f"client{index}"
+        kwargs = dict(
+            client_id=client_id,
+            model_factory=model_factory,
+            images=dataset.train_images[part],
+            labels=dataset.train_labels[part],
+            config=client_config,
+        )
+        if with_enclaves:
+            kwargs["enclave"] = TrustZoneEnclave(name=f"{client_id}.enclave")
+        # The last ``num_compromised`` clients attack the federation.
+        if index >= num_clients - num_compromised:
+            adversarial = dict(
+                kwargs,
+                attack=_probe_attack(scenario),
+                poison_target=int(params.get("poison_target", 0)),
+                poison_fraction=float(params.get("poison_fraction", 0.5)),
+                poison_trigger_size=int(params.get("trigger_size", 3)),
+            )
+            if params.get("task") == "robust_aggregation":
+                clients.append(
+                    ModelPoisoningClient(
+                        boost_factor=float(params.get("boost_factor", 25.0)), **adversarial
+                    )
+                )
+            else:
+                clients.append(CompromisedClient(**adversarial))
+        else:
+            clients.append(HonestClient(**kwargs))
+    return model_factory, clients, dataset
+
+
+def _clone_clients(base_clients: list[HonestClient]) -> list[HonestClient]:
+    """Deep-copy a population without duplicating its (immutable) datasets.
+
+    Sweeps need fresh models / poisoning state per variant, but the image
+    and label arrays are never mutated in place (poisoning copies from the
+    pristine data), so the clones share them via the deepcopy memo.
+    """
+    memo: dict[int, object] = {}
+    for client in base_clients:
+        for array in (
+            client.images,
+            client.labels,
+            getattr(client, "_clean_images", None),
+            getattr(client, "_clean_labels", None),
+        ):
+            if array is not None:
+                memo[id(array)] = array
+    return copy.deepcopy(base_clients, memo)
+
+
+def _resolve_rule(name: str, params) -> "object":
+    if name == "trimmed_mean":
+        return functools.partial(
+            trimmed_mean, trim_fraction=float(params.get("trim_fraction", 0.25))
+        )
+    return get_aggregation_rule(name)
+
+
+def backdoor_success_rate(
+    model, images: np.ndarray, labels: np.ndarray, target_class: int, trigger_size: int = 3
+) -> float:
+    """Fraction of non-target test samples the trigger steers to the target."""
+    mask = np.asarray(labels) != target_class
+    if not mask.any():
+        return float("nan")
+    triggered = add_backdoor_trigger(np.asarray(images)[mask], trigger_size=trigger_size)
+    return float((model.predict(triggered) == target_class).mean())
+
+
+def _round_payload(rounds) -> list[dict]:
+    return [dataclasses.asdict(entry) for entry in rounds]
+
+
+def _run_once(scenario, transport, model, clients, dataset, rule) -> tuple:
+    """One full federated run; returns (runtime, FederatedRunResult)."""
+    runtime = FederationRuntime(
+        global_model=model,
+        clients=clients,
+        transport=transport,
+        aggregation_rule=rule,
+        client_fraction=float(scenario.params.get("client_fraction", 1.0)),
+    )
+    result = runtime.run(
+        int(scenario.params.get("num_rounds", 2)),
+        dataset.test_images,
+        dataset.test_labels,
+    )
+    return runtime, result
+
+
+def _base_payload(scenario: Scenario, transport, runtime=None) -> dict:
+    payload = {
+        "task": scenario.params.get("task", "fedavg"),
+        "num_clients": int(scenario.params.get("num_clients", 4)),
+        "num_rounds": int(scenario.params.get("num_rounds", 2)),
+        **transport.describe(),
+    }
+    if runtime is not None:
+        payload["secure"] = runtime.secure_stats.as_dict()
+    return payload
+
+
+# --------------------------------------------------------------------------- #
+# Task runners
+# --------------------------------------------------------------------------- #
+def run_fedavg_task(scenario: Scenario, cache: ArtifactCache, transport) -> dict:
+    model_factory, clients, dataset = _build_population(scenario, cache)
+    rule = _resolve_rule(scenario.params.get("aggregation", "fedavg"), scenario.params)
+    runtime, result = _run_once(scenario, transport, model_factory(), clients, dataset, rule)
+    payload = _base_payload(scenario, transport, runtime)
+    payload.update(
+        aggregation=scenario.params.get("aggregation", "fedavg"),
+        rounds=_round_payload(result.rounds),
+        final_accuracy=result.final_accuracy,
+        update_bytes_total=sum(entry.update_bytes for entry in result.rounds),
+    )
+    return payload
+
+
+def run_robust_aggregation_task(scenario: Scenario, cache: ArtifactCache, transport) -> dict:
+    params = scenario.params
+    model_factory, base_clients, dataset = _build_population(scenario, cache)
+    base_model = model_factory()
+    rules: dict[str, dict] = {}
+    for rule_name in params.get("rules", ("fedavg", "trimmed_mean", "median")):
+        # Fresh deep copies so every rule starts from the same population
+        # and initial global model (model init draws from a shared stream).
+        clients = _clone_clients(base_clients)
+        model = copy.deepcopy(base_model)
+        _, result = _run_once(
+            scenario, transport, model, clients, dataset, _resolve_rule(rule_name, params)
+        )
+        rules[str(rule_name)] = {
+            "final_accuracy": result.final_accuracy,
+            "backdoor_success": backdoor_success_rate(
+                model,
+                dataset.test_images,
+                dataset.test_labels,
+                int(params.get("poison_target", 0)),
+                int(params.get("trigger_size", 3)),
+            ),
+            "rounds": _round_payload(result.rounds),
+        }
+        _LOGGER.info(
+            "robust aggregation rule=%s final_accuracy=%.3f",
+            rule_name,
+            result.final_accuracy,
+        )
+    # Built after the runs so the transport name reflects what actually ran.
+    payload = _base_payload(scenario, transport)
+    payload["num_compromised"] = int(params.get("num_compromised", 0))
+    payload["rules"] = rules
+    return payload
+
+
+def run_poisoning_task(scenario: Scenario, cache: ArtifactCache, transport) -> dict:
+    params = scenario.params
+    model_factory, base_clients, dataset = _build_population(scenario, cache)
+    base_model = model_factory()
+    sweep: list[dict] = []
+    for fraction in params.get("fractions", (0.0, 0.5)):
+        fraction = float(fraction)
+        clients = _clone_clients(base_clients)
+        for client in clients:
+            if getattr(client, "is_compromised", False):
+                client.poison_fraction = fraction
+        model = copy.deepcopy(base_model)
+        _, result = _run_once(
+            scenario, transport, model, clients, dataset, get_aggregation_rule("fedavg")
+        )
+        sweep.append(
+            {
+                "poison_fraction": fraction,
+                "final_accuracy": result.final_accuracy,
+                "backdoor_success": backdoor_success_rate(
+                    model,
+                    dataset.test_images,
+                    dataset.test_labels,
+                    int(params.get("poison_target", 0)),
+                    int(params.get("trigger_size", 3)),
+                ),
+            }
+        )
+    # Built after the runs so the transport name reflects what actually ran.
+    payload = _base_payload(scenario, transport)
+    payload["num_compromised"] = int(params.get("num_compromised", 0))
+    payload["sweep"] = sweep
+    return payload
+
+
+def _device_key(client_id: str) -> bytes:
+    """Deterministic per-device hardware key (simulation stand-in)."""
+    return hashlib.sha256(f"device:{client_id}:{get_global_seed()}".encode("utf-8")).digest()
+
+
+def run_shielded_global_task(scenario: Scenario, cache: ArtifactCache, transport) -> dict:
+    config = scenario.config
+    model_factory, clients, dataset = _build_population(scenario, cache, with_enclaves=True)
+    model = model_factory()
+    runtime = FederationRuntime(
+        global_model=model,
+        clients=clients,
+        transport=transport,
+        client_fraction=float(scenario.params.get("client_fraction", 1.0)),
+    )
+    runtime.attest_clients({client.client_id: _device_key(client.client_id) for client in clients})
+    result = runtime.run(
+        int(scenario.params.get("num_rounds", 2)), dataset.test_images, dataset.test_labels
+    )
+    # Evasion robustness of the trained global model, clear vs shielded.
+    attack_params = table2_parameters(config.dataset)
+    epsilon = attack_params.epsilon * config.epsilon_scale
+    rng_seed = derive_seed(f"fl.scenario.{scenario.name}.attack")
+    attack = PGD(
+        epsilon=epsilon,
+        step_size=epsilon / 8,
+        steps=config.max_attack_steps,
+        rng=np.random.default_rng(rng_seed),
+    )
+    images, labels = select_correctly_classified(
+        model.predict, dataset.test_images, dataset.test_labels, config.eval_samples
+    )
+    if len(labels):
+        clear_adv = attack.run(make_attacker_view(model), images, labels).adversarials
+        shielded_view = make_attacker_view(
+            ShieldedModel(model),
+            strategy=config.upsampling_strategy,
+            rng=np.random.default_rng(derive_seed(f"fl.scenario.{scenario.name}.bpda")),
+        )
+        shielded_adv = attack.run(shielded_view, images, labels).adversarials
+        robust = {
+            "unshielded": robust_accuracy(model.predict, clear_adv, labels),
+            "shielded": robust_accuracy(model.predict, shielded_adv, labels),
+        }
+    else:  # the tiny global model classified nothing correctly
+        robust = {"unshielded": float("nan"), "shielded": float("nan")}
+    payload = _base_payload(scenario, transport, runtime)
+    payload.update(
+        rounds=_round_payload(result.rounds),
+        final_accuracy=result.final_accuracy,
+        attack="pgd",
+        epsilon=float(epsilon),
+        eval_samples=int(len(labels)),
+        robust_accuracy=robust,
+    )
+    return payload
+
+
+_TASKS = {
+    "fedavg": run_fedavg_task,
+    "robust_aggregation": run_robust_aggregation_task,
+    "poisoning": run_poisoning_task,
+    "shielded_global": run_shielded_global_task,
+}
+
+
+def run_federated_scenario(
+    scenario: Scenario, cache: ArtifactCache, executor: CellExecutor
+) -> dict:
+    """Dispatch a federated scenario to its task runner."""
+    transport = transport_from_executor(executor)
+    task = scenario.params.get("task", "fedavg")
+    if task not in _TASKS:
+        raise KeyError(f"unknown federated task {task!r}; expected one of {sorted(_TASKS)}")
+    _LOGGER.info("federated task %s over %s transport", task, transport.name)
+    return _TASKS[task](scenario, cache, transport)

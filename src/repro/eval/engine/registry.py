@@ -30,6 +30,7 @@ SCENARIO_KINDS = (
     "geometry",  # Fig. 3: attack trajectories on the 2-D toy problem
     "epsilon_sweep",  # ablation: PGD budget sweep
     "upsampling",  # ablation: attacker upsampling substitutes
+    "federated",  # fl_*: federation-runtime workloads (FedAvg, robust agg, ...)
 )
 
 
@@ -254,6 +255,163 @@ def _ablation_epsilon(scale: str, overrides: dict[str, Any]) -> Scenario:
     overrides.setdefault("models", (params["model"],))
     config = scaled_experiment_config(scale, dataset="cifar10", **overrides)
     return Scenario(name="ablation_epsilon", kind="epsilon_sweep", config=config, params=params)
+
+
+# --------------------------------------------------------------------------- #
+# Federated (fl_*) scenarios — executed by the federation runtime
+# --------------------------------------------------------------------------- #
+#: Federation shape per scale (clients, rounds, local training, attackers).
+FL_SCALES: dict[str, dict[str, Any]] = {
+    "tiny": dict(
+        num_clients=4,
+        num_rounds=2,
+        local_epochs=1,
+        client_batch_size=16,
+        client_lr=0.05,
+        num_compromised=1,
+        fractions=(0.0, 0.5),
+    ),
+    "bench": dict(
+        num_clients=8,
+        num_rounds=4,
+        local_epochs=4,
+        client_batch_size=16,
+        client_lr=0.05,
+        num_compromised=2,
+        fractions=(0.0, 0.25, 0.5),
+    ),
+    "full": dict(
+        num_clients=16,
+        num_rounds=5,
+        local_epochs=3,
+        client_batch_size=32,
+        client_lr=0.05,
+        num_compromised=4,
+        fractions=(0.0, 0.1, 0.25, 0.5),
+    ),
+}
+
+#: Per-class training-set size of the federated scenarios (the federation
+#: splits one dataset across all clients, so it needs more data per class
+#: than the single-defender experiments at the same scale).
+_FL_TRAIN_PER_CLASS = {"tiny": 24, "bench": 64, "full": 96}
+
+#: Every parameter the federated task runners consume.  Overrides naming one
+#: of these always route to the scenario params — including ones a task has
+#: no default for (e.g. ``dirichlet_alpha``) — never to the ExperimentConfig.
+_FL_PARAM_KEYS = frozenset(
+    {
+        "task",
+        "model",
+        "partition",
+        "dirichlet_alpha",
+        "aggregation",
+        "client_fraction",
+        "num_clients",
+        "num_rounds",
+        "local_epochs",
+        "client_batch_size",
+        "client_lr",
+        "num_compromised",
+        "boost_factor",
+        "poison_target",
+        "poison_fraction",
+        "trim_fraction",
+        "trigger_size",
+        "rules",
+        "fractions",
+        "attack",
+    }
+)
+
+#: FL params holding a sequence (a single bare CLI value becomes a 1-tuple).
+_FL_TUPLE_KEYS = frozenset({"rules", "fractions"})
+
+
+def _fl_scenario(name: str, scale: str, overrides: dict[str, Any], **task_defaults) -> Scenario:
+    """Shared builder: split CLI overrides between FL params and the config."""
+    params = dict(FL_SCALES[scale])
+    params.update(task_defaults)
+    # ``--set`` overrides naming an FL parameter go to params, the rest to
+    # the ExperimentConfig (dataset sizes, eval budget, ...).  Tuple-typed
+    # params (rules, fractions) accept a single bare CLI value.
+    for key in list(overrides):
+        if key in params or key in _FL_PARAM_KEYS:
+            value = overrides.pop(key)
+            if key in _FL_TUPLE_KEYS:
+                value = _as_tuple(value)
+            params[key] = value
+    overrides.setdefault("train_per_class", _FL_TRAIN_PER_CLASS[scale])
+    config = scaled_experiment_config(scale, dataset="cifar10", **overrides)
+    return Scenario(name=name, kind="federated", config=config, params=params)
+
+
+@register_scenario("fl_fedavg", "Federated — FedAvg over the federation runtime (transport-parallel)")
+def _fl_fedavg(scale: str, overrides: dict[str, Any]) -> Scenario:
+    return _fl_scenario(
+        "fl_fedavg",
+        scale,
+        overrides,
+        task="fedavg",
+        model="simple_cnn",
+        partition="iid",
+        client_fraction=1.0,
+        aggregation="fedavg",
+        num_compromised=0,
+    )
+
+
+@register_scenario(
+    "fl_robust_aggregation",
+    "Federated — trimmed-mean / median vs boosted model-poisoning clients",
+)
+def _fl_robust_aggregation(scale: str, overrides: dict[str, Any]) -> Scenario:
+    return _fl_scenario(
+        "fl_robust_aggregation",
+        scale,
+        overrides,
+        task="robust_aggregation",
+        model="simple_cnn",
+        partition="iid",
+        rules=("fedavg", "trimmed_mean", "median"),
+        boost_factor=25.0,
+        poison_target=0,
+        poison_fraction=0.5,
+        trim_fraction=0.25,
+        trigger_size=3,
+    )
+
+
+@register_scenario("fl_poisoning", "Federated — backdoor success vs poisoned-data fraction")
+def _fl_poisoning(scale: str, overrides: dict[str, Any]) -> Scenario:
+    return _fl_scenario(
+        "fl_poisoning",
+        scale,
+        overrides,
+        task="poisoning",
+        model="simple_cnn",
+        partition="iid",
+        poison_target=0,
+        trigger_size=3,
+    )
+
+
+@register_scenario(
+    "fl_shielded_global",
+    "Federated — attested TEE clients train the global model; PGD vs its shield",
+)
+def _fl_shielded_global(scale: str, overrides: dict[str, Any]) -> Scenario:
+    return _fl_scenario(
+        "fl_shielded_global",
+        scale,
+        overrides,
+        task="shielded_global",
+        model="simple_cnn",
+        partition="iid",
+        client_fraction=1.0,
+        num_compromised=0,
+        attack="pgd",
+    )
 
 
 @register_scenario("ablation_upsampling", "Ablation — attacker upsampling substitutes vs a shielded BiT")

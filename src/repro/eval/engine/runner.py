@@ -70,6 +70,7 @@ class ExperimentEngine:
             "geometry": self._run_geometry,
             "epsilon_sweep": self._run_epsilon_sweep,
             "upsampling": self._run_upsampling,
+            "federated": self._run_federated,
         }[scenario.kind]
         _LOGGER.info("running scenario %s (%s)", scenario.name, scenario.kind)
         start = time.perf_counter()
@@ -306,6 +307,16 @@ class ExperimentEngine:
         ]
         rows = self.executor.map(cells.run_epsilon_cell, payloads)
         return sorted(rows, key=lambda row: row["epsilon"])
+
+    # ------------------------------------------------------------------ #
+    # Federated (fl_*) scenarios
+    # ------------------------------------------------------------------ #
+    def _run_federated(self, scenario: Scenario):
+        # Deferred import: repro.fl pulls the executor module back in, so a
+        # top-level import would create a package-initialisation cycle.
+        from repro.eval.engine.federated import run_federated_scenario
+
+        return run_federated_scenario(scenario, self.cache, self.executor)
 
     def _run_upsampling(self, scenario: Scenario):
         config = scenario.config

@@ -171,6 +171,64 @@ def format_upsampling_ablation(results: Mapping[str, float]) -> str:
     return "\n".join(lines)
 
 
+def format_federated(payload: Mapping[str, Any]) -> str:
+    """Summary of one federated (``fl_*``) scenario run."""
+    header = (
+        f"Federated — task={payload.get('task')}, transport={payload.get('transport')}, "
+        f"clients={payload.get('num_clients')}, rounds={payload.get('num_rounds')}"
+    )
+    lines = [header]
+
+    def _rounds_block(rounds, indent: str = "  ") -> None:
+        lines.append(
+            f"{indent}{'round':>5}{'clients':>9}{'accuracy':>10}{'loss':>9}"
+            f"{'bytes':>12}{'compromised':>13}"
+        )
+        for entry in rounds:
+            lines.append(
+                f"{indent}{entry['round_index']:>5}"
+                f"{len(entry['participating_clients']):>9}"
+                f"{entry['global_accuracy'] * 100:>9.1f}%"
+                f"{entry['mean_client_loss']:>9.3f}"
+                f"{entry['update_bytes']:>12,}"
+                f"{len(entry['compromised_clients']):>13}"
+            )
+
+    if "rounds" in payload:
+        _rounds_block(payload["rounds"])
+    if "rules" in payload:
+        lines.append(f"  aggregation rules ({payload.get('num_compromised', 0)} attacker(s)):")
+        for rule, entry in payload["rules"].items():
+            lines.append(
+                f"    {rule:<14} final accuracy={entry['final_accuracy'] * 100:6.1f}%"
+                f"  backdoor success={entry['backdoor_success'] * 100:6.1f}%"
+            )
+    if "sweep" in payload:
+        lines.append(f"  poisoning sweep ({payload.get('num_compromised', 0)} attacker(s)):")
+        for entry in payload["sweep"]:
+            lines.append(
+                f"    fraction={entry['poison_fraction']:.2f}"
+                f"  final accuracy={entry['final_accuracy'] * 100:6.1f}%"
+                f"  backdoor success={entry['backdoor_success'] * 100:6.1f}%"
+            )
+    if "robust_accuracy" in payload:
+        robust = payload["robust_accuracy"]
+        lines.append(
+            f"  global-model robustness ({payload.get('attack', '?')}, "
+            f"{payload.get('eval_samples', 0)} samples): "
+            f"unshielded={robust['unshielded'] * 100:.1f}%  "
+            f"shielded={robust['shielded'] * 100:.1f}%"
+        )
+    secure = payload.get("secure")
+    if secure and secure.get("attested_clients"):
+        lines.append(
+            f"  secure sessions: {secure['attested_clients']} attested client(s), "
+            f"{secure['sealed_messages']} sealed message(s), "
+            f"{secure['sealed_bytes']:,} bytes through the channel"
+        )
+    return "\n".join(lines)
+
+
 def render_run(record) -> str:
     """Render a run record (live :class:`~repro.eval.engine.RunRecord` or a
     JSON dict loaded from ``results/runs/``) into its printable block."""
@@ -206,6 +264,8 @@ def render_run(record) -> str:
         return format_epsilon_sweep(results)
     if kind == "upsampling":
         return format_upsampling_ablation(results)
+    if kind == "federated":
+        return format_federated(results)
     raise ValueError(f"cannot render unknown scenario kind {kind!r}")
 
 

@@ -1,4 +1,4 @@
-"""Federated learning substrate: server, clients, aggregation, poisoning."""
+"""Federated learning substrate: runtime, server, clients, aggregation, poisoning."""
 
 from repro.fl.aggregation import (
     AGGREGATION_RULES,
@@ -7,7 +7,12 @@ from repro.fl.aggregation import (
     get_aggregation_rule,
     trimmed_mean,
 )
-from repro.fl.client import ClientConfig, CompromisedClient, HonestClient
+from repro.fl.client import (
+    ClientConfig,
+    CompromisedClient,
+    HonestClient,
+    ModelPoisoningClient,
+)
 from repro.fl.messages import GlobalModelBroadcast, ModelUpdate, RoundResult
 from repro.fl.poisoning import add_backdoor_trigger, flip_labels, poison_with_backdoor
 from repro.fl.rounds import (
@@ -16,26 +21,59 @@ from repro.fl.rounds import (
     FederatedTrainer,
     build_federation,
 )
+from repro.fl.runtime import (
+    AttestationGate,
+    BroadcastEnvelope,
+    ClientSession,
+    ClientTask,
+    FederationRuntime,
+    InProcessTransport,
+    Participant,
+    ProcessTransport,
+    RoundHooks,
+    ThreadTransport,
+    Transport,
+    UpdateEnvelope,
+    enroll_and_attest,
+    get_transport,
+    transport_from_executor,
+)
 from repro.fl.server import FLServer
 
 __all__ = [
     "AGGREGATION_RULES",
+    "AttestationGate",
+    "BroadcastEnvelope",
     "ClientConfig",
+    "ClientSession",
+    "ClientTask",
     "CompromisedClient",
     "FLServer",
     "FederatedRunConfig",
     "FederatedRunResult",
     "FederatedTrainer",
+    "FederationRuntime",
     "GlobalModelBroadcast",
     "HonestClient",
+    "InProcessTransport",
+    "ModelPoisoningClient",
     "ModelUpdate",
+    "Participant",
+    "ProcessTransport",
+    "RoundHooks",
     "RoundResult",
+    "ThreadTransport",
+    "Transport",
+    "UpdateEnvelope",
     "add_backdoor_trigger",
     "build_federation",
     "coordinate_median",
+    "enroll_and_attest",
     "fedavg",
     "flip_labels",
     "get_aggregation_rule",
+    "get_transport",
     "poison_with_backdoor",
+    "transport_from_executor",
     "trimmed_mean",
 ]

@@ -38,7 +38,18 @@ class ClientConfig:
 
 
 class HonestClient:
-    """A protocol-following FL participant with a private local dataset."""
+    """A protocol-following FL participant with a private local dataset.
+
+    Implements the runtime's :class:`~repro.fl.runtime.participant.Participant`
+    protocol: ``is_compromised`` marks adversarial participants structurally
+    (so detection survives subclassing), ``local_update`` accepts an optional
+    generator so the runtime can hand every client a deterministic
+    per-(round, client) stream, and an optional ``enclave`` is the client's
+    TEE — the attestation root of its secure session with the server.
+    """
+
+    #: Protocol attribute: honest participants are never adversarial.
+    is_compromised = False
 
     def __init__(
         self,
@@ -47,12 +58,14 @@ class HonestClient:
         images: np.ndarray,
         labels: np.ndarray,
         config: ClientConfig | None = None,
+        enclave: Enclave | None = None,
     ):
         self.client_id = client_id
         self.model = model_factory()
         self.images = np.asarray(images)
         self.labels = np.asarray(labels)
         self.config = config if config is not None else ClientConfig()
+        self.enclave = enclave
 
     @property
     def num_samples(self) -> int:
@@ -62,10 +75,17 @@ class HonestClient:
         """Install the broadcast global parameters into the local model."""
         self.model.load_state_dict(broadcast.state)
 
-    def local_update(self, round_index: int) -> ModelUpdate:
-        """Train locally and return the resulting parameters."""
+    def local_update(
+        self, round_index: int, rng: np.random.Generator | None = None
+    ) -> ModelUpdate:
+        """Train locally and return the resulting parameters.
+
+        ``rng`` overrides the mini-batch shuffle stream; the federation
+        runtime always passes a per-(round, client) generator so local
+        updates are independent of execution order and transport backend.
+        """
         loader = DataLoader(
-            self.images, self.labels, batch_size=self.config.batch_size, shuffle=True
+            self.images, self.labels, batch_size=self.config.batch_size, shuffle=True, rng=rng
         )
         optimizer = SGD(
             self.model.parameters(),
@@ -98,6 +118,8 @@ class CompromisedClient(HonestClient):
     before training, modelling the poisoning pipeline of the introduction.
     """
 
+    is_compromised = True
+
     def __init__(
         self,
         client_id: str,
@@ -110,14 +132,20 @@ class CompromisedClient(HonestClient):
         shield_model: bool = False,
         poison_target: int | None = None,
         poison_fraction: float = 0.0,
+        poison_trigger_size: int = 3,
         upsampling_strategy: str = "auto",
     ):
-        super().__init__(client_id, model_factory, images, labels, config)
+        super().__init__(client_id, model_factory, images, labels, config, enclave=enclave)
+        # Pristine copies so repeated poisoning is idempotent: every local
+        # update re-poisons from the clean data, which keeps a client's
+        # update a pure function of (broadcast, seed) across transports.
+        self._clean_images = self.images
+        self._clean_labels = self.labels
         self.attack = attack
         self.shield_model = shield_model
-        self.enclave = enclave
         self.poison_target = poison_target
         self.poison_fraction = poison_fraction
+        self.poison_trigger_size = poison_trigger_size
         self.upsampling_strategy = upsampling_strategy
         #: Result of the most recent probing attempt.
         self.last_attack_result: AttackResult | None = None
@@ -136,13 +164,55 @@ class CompromisedClient(HonestClient):
         self.last_attack_result = self.attack.run(view, inputs, labels)
         return self.last_attack_result
 
-    def local_update(self, round_index: int) -> ModelUpdate:
+    def local_update(
+        self, round_index: int, rng: np.random.Generator | None = None
+    ) -> ModelUpdate:
         """Optionally poison the local dataset, then train like an honest client."""
         if self.poison_target is not None and self.poison_fraction > 0.0:
+            # Poisoning from the pristine copies with the caller's generator
+            # keeps the poisoned subset a pure function of (round, seed):
+            # unbiased when the runtime hands a per-round stream, and the
+            # legacy deterministic-prefix selection when rng is None.
             self.images, self.labels = poison_with_backdoor(
-                self.images,
-                self.labels,
+                self._clean_images,
+                self._clean_labels,
                 target_class=self.poison_target,
                 fraction=self.poison_fraction,
+                trigger_size=self.poison_trigger_size,
+                rng=rng,
             )
-        return super().local_update(round_index)
+        return super().local_update(round_index, rng=rng)
+
+
+class ModelPoisoningClient(CompromisedClient):
+    """A compromised client mounting the model-replacement (boosting) attack.
+
+    On top of any data poisoning, the client scales its parameter delta
+    relative to the received global model by ``boost_factor`` — the classic
+    way a single participant dominates FedAvg's weighted mean.  Robust
+    aggregation rules (trimmed mean, coordinate-wise median) are expected to
+    outvote it.
+    """
+
+    def __init__(self, *args, boost_factor: float = 10.0, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.boost_factor = boost_factor
+        self._global_state: dict[str, np.ndarray] | None = None
+
+    def receive(self, broadcast: GlobalModelBroadcast) -> None:
+        self._global_state = {
+            key: np.array(value, copy=True) for key, value in broadcast.state.items()
+        }
+        super().receive(broadcast)
+
+    def local_update(
+        self, round_index: int, rng: np.random.Generator | None = None
+    ) -> ModelUpdate:
+        update = super().local_update(round_index, rng=rng)
+        if self._global_state is not None:
+            update.state = {
+                key: self._global_state[key]
+                + self.boost_factor * (value - self._global_state[key])
+                for key, value in update.state.items()
+            }
+        return update

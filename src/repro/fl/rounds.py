@@ -1,8 +1,16 @@
-"""Multi-round federated training orchestration."""
+"""Multi-round federated training orchestration (deprecated wrappers).
+
+The orchestration now lives in :mod:`repro.fl.runtime`;
+:class:`FederatedTrainer` and :func:`build_federation` are kept as thin
+wrappers so existing callers keep working.  New code should build a
+:class:`~repro.fl.runtime.runtime.FederationRuntime` directly — it adds
+transport selection (serial / thread / process), attestation-gated secure
+sessions and round-level hooks.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 from typing import Callable, Sequence
 
 import numpy as np
@@ -10,38 +18,26 @@ import numpy as np
 from repro.data.splits import iid_partition
 from repro.fl.aggregation import AggregationRule, fedavg
 from repro.fl.client import ClientConfig, HonestClient
-from repro.fl.messages import RoundResult
+from repro.fl.runtime.runtime import FederatedRunConfig, FederatedRunResult
 from repro.fl.server import FLServer
 from repro.models.base import ImageClassifier
 from repro.utils.rng import spawn_rng
 
-
-@dataclass
-class FederatedRunConfig:
-    """Configuration of a federated training run."""
-
-    num_rounds: int = 3
-    client_fraction: float = 1.0
-    client: ClientConfig = field(default_factory=ClientConfig)
-
-
-@dataclass
-class FederatedRunResult:
-    """History of a federated training run."""
-
-    rounds: list[RoundResult] = field(default_factory=list)
-
-    @property
-    def final_accuracy(self) -> float:
-        return self.rounds[-1].global_accuracy if self.rounds else float("nan")
-
-    @property
-    def accuracies(self) -> list[float]:
-        return [entry.global_accuracy for entry in self.rounds]
+__all__ = [
+    "FederatedRunConfig",
+    "FederatedRunResult",
+    "FederatedTrainer",
+    "build_federation",
+]
 
 
 class FederatedTrainer:
-    """Drives a complete federated training run over a fixed client population."""
+    """Deprecated: drives a federated run through the federation runtime.
+
+    Kept for source compatibility with the seed API; prefer
+    :class:`~repro.fl.runtime.runtime.FederationRuntime` which exposes the
+    transport, attestation gate and round hooks directly.
+    """
 
     def __init__(
         self,
@@ -49,6 +45,11 @@ class FederatedTrainer:
         clients: Sequence[HonestClient],
         config: FederatedRunConfig | None = None,
     ):
+        warnings.warn(
+            "FederatedTrainer is deprecated; use repro.fl.runtime.FederationRuntime",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.server = server
         self.clients = list(clients)
         self.config = config if config is not None else FederatedRunConfig()
@@ -58,16 +59,22 @@ class FederatedTrainer:
         eval_images: np.ndarray | None = None,
         eval_labels: np.ndarray | None = None,
     ) -> FederatedRunResult:
-        """Run the configured number of rounds, evaluating after each."""
+        """Run the configured number of rounds, evaluating after each.
+
+        Each round goes through :meth:`FLServer.run_round` (itself a runtime
+        wrapper), so server subclasses overriding ``run_round`` — or reading
+        ``round_index`` mid-run — behave exactly as they did on the seed API.
+        """
         result = FederatedRunResult()
         for _ in range(self.config.num_rounds):
-            round_result = self.server.run_round(
-                self.clients,
-                fraction=self.config.client_fraction,
-                eval_images=eval_images,
-                eval_labels=eval_labels,
+            result.rounds.append(
+                self.server.run_round(
+                    self.clients,
+                    fraction=self.config.client_fraction,
+                    eval_images=eval_images,
+                    eval_labels=eval_labels,
+                )
             )
-            result.rounds.append(round_result)
         return result
 
 
@@ -79,7 +86,11 @@ def build_federation(
     aggregation_rule: AggregationRule = fedavg,
     client_config: ClientConfig | None = None,
 ) -> tuple[FLServer, list[HonestClient]]:
-    """Build a server plus an IID-partitioned population of honest clients."""
+    """Build a server plus an IID-partitioned population of honest clients.
+
+    Deprecated-but-supported convenience over the runtime API; the returned
+    pieces plug directly into :class:`FederationRuntime` as well.
+    """
     rng = spawn_rng("fl.federation")
     partitions = iid_partition(labels, num_clients, rng=rng)
     clients = [

@@ -1,0 +1,77 @@
+"""Federation runtime: transport-abstracted, TEE-attested FL rounds.
+
+The runtime decouples *what* a federated round does (broadcast, local
+update, aggregate, evaluate) from *how* its messages move (in-process,
+thread pool, process pool) and *whom* the server trusts (attestation-gated
+secure sessions for enclave-backed clients).  See
+:class:`~repro.fl.runtime.runtime.FederationRuntime` for the entry point;
+the legacy :class:`~repro.fl.server.FLServer` /
+:class:`~repro.fl.rounds.FederatedTrainer` API is now a thin wrapper over
+it.
+"""
+
+from repro.fl.runtime.attested import AttestationGate, ClientSession, enroll_and_attest
+from repro.fl.runtime.envelopes import (
+    BroadcastEnvelope,
+    SealedState,
+    UpdateEnvelope,
+    decode_state,
+    encode_state,
+    seal_state,
+    unseal_state,
+)
+from repro.fl.runtime.participant import (
+    ClientTask,
+    Participant,
+    client_task_seed,
+    run_client_task,
+)
+from repro.fl.runtime.runtime import (
+    FederatedRunConfig,
+    FederatedRunResult,
+    FederationRuntime,
+    RoundHooks,
+    SecureTrafficStats,
+    sample_by_fraction,
+)
+from repro.fl.runtime.transport import (
+    TRANSPORTS,
+    ExecutorTransport,
+    InProcessTransport,
+    ProcessTransport,
+    ThreadTransport,
+    Transport,
+    get_transport,
+    transport_from_executor,
+)
+
+__all__ = [
+    "AttestationGate",
+    "BroadcastEnvelope",
+    "ClientSession",
+    "ClientTask",
+    "ExecutorTransport",
+    "FederatedRunConfig",
+    "FederatedRunResult",
+    "FederationRuntime",
+    "InProcessTransport",
+    "Participant",
+    "ProcessTransport",
+    "RoundHooks",
+    "SealedState",
+    "SecureTrafficStats",
+    "ThreadTransport",
+    "TRANSPORTS",
+    "Transport",
+    "UpdateEnvelope",
+    "client_task_seed",
+    "decode_state",
+    "encode_state",
+    "enroll_and_attest",
+    "get_transport",
+    "run_client_task",
+    "sample_by_fraction",
+    "seal_state",
+    "transport_from_executor",
+    "unseal_state",
+]

@@ -1,0 +1,103 @@
+"""Pluggable transports carrying client tasks to participants and back.
+
+A :class:`Transport` is an order-preserving exchange of
+:class:`~repro.fl.runtime.participant.ClientTask` values for
+:class:`~repro.fl.runtime.envelopes.UpdateEnvelope` replies.  The concrete
+backends generalise the experiment engine's
+:class:`~repro.eval.engine.executor.CellExecutor` (same backend names, same
+environment defaults, same order guarantees) to federation traffic:
+
+* :class:`InProcessTransport` — clients run inline in the caller;
+* :class:`ThreadTransport` — local updates overlap in a thread pool (NumPy
+  releases the GIL in its large kernels);
+* :class:`ProcessTransport` — fork-based process pool; tasks and replies are
+  pickled, so a round models real serialisation costs.
+
+Because every task carries its own derived seed (see
+:func:`~repro.fl.runtime.participant.run_client_task`), the three backends
+produce bit-identical round histories — the transport is purely a
+throughput/deployment choice.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from repro.eval.engine.executor import BACKENDS, CellExecutor, ExecutorConfig
+from repro.fl.runtime.envelopes import UpdateEnvelope
+from repro.fl.runtime.participant import ClientTask, run_client_task
+
+#: Names accepted by :func:`get_transport` (the executor's backend names).
+TRANSPORTS = BACKENDS
+
+
+class Transport:
+    """Order-preserving exchange of client tasks for update envelopes."""
+
+    name = "base"
+
+    def exchange(self, tasks: Sequence[ClientTask]) -> list[UpdateEnvelope]:
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        """JSON-able description for run records."""
+        return {"transport": self.name}
+
+
+class ExecutorTransport(Transport):
+    """Transport over the engine's cell executor (any of its backends)."""
+
+    def __init__(self, backend: str = "serial", max_workers: int | None = None):
+        self._executor = CellExecutor(ExecutorConfig(backend=backend, max_workers=max_workers))
+        self.max_workers = self._executor.config.max_workers
+        # Initial estimate of the backend ``auto`` resolves to; refined to
+        # the exact choice (including the small-batch serial downgrade) on
+        # every exchange, so run records name what actually ran.
+        name = self._executor.config.backend
+        if name == "auto":
+            workers = self.max_workers if self.max_workers is not None else os.cpu_count() or 1
+            name = "thread" if workers > 1 else "serial"
+        self.name = name
+
+    def exchange(self, tasks: Sequence[ClientTask]) -> list[UpdateEnvelope]:
+        tasks = list(tasks)
+        self.name, _ = self._executor.resolve(len(tasks))
+        return self._executor.map(run_client_task, tasks)
+
+    def describe(self) -> dict:
+        return {"transport": self.name, "max_workers": self.max_workers}
+
+
+class InProcessTransport(ExecutorTransport):
+    """Run every client inline, in participant order."""
+
+    def __init__(self):
+        super().__init__(backend="serial")
+
+
+class ThreadTransport(ExecutorTransport):
+    """Overlap client updates in a thread pool."""
+
+    def __init__(self, max_workers: int | None = None):
+        super().__init__(backend="thread", max_workers=max_workers)
+
+
+class ProcessTransport(ExecutorTransport):
+    """Fan client updates out to worker processes (tasks are pickled)."""
+
+    def __init__(self, max_workers: int | None = None):
+        super().__init__(backend="process", max_workers=max_workers)
+
+
+def get_transport(name: str = "serial", max_workers: int | None = None) -> Transport:
+    """Build a transport by executor backend name (``auto`` resolves lazily)."""
+    if name not in TRANSPORTS:
+        raise KeyError(f"unknown transport {name!r}; expected one of {TRANSPORTS}")
+    return ExecutorTransport(backend=name, max_workers=max_workers)
+
+
+def transport_from_executor(executor: CellExecutor) -> Transport:
+    """Reuse an engine executor's resolved configuration as a transport."""
+    config = executor.config
+    return ExecutorTransport(backend=config.backend, max_workers=config.max_workers)

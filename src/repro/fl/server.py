@@ -1,4 +1,10 @@
-"""The trusted federated learning server."""
+"""The trusted federated learning server.
+
+Since the federation-runtime redesign, :meth:`FLServer.run_round` is a thin
+wrapper building a :class:`~repro.fl.runtime.runtime.FederationRuntime`
+over the in-process transport; new code should use the runtime directly
+(it adds transport selection, attested secure sessions and round hooks).
+"""
 
 from __future__ import annotations
 
@@ -40,11 +46,9 @@ class FLServer:
         self, clients: Sequence[HonestClient], fraction: float = 1.0
     ) -> list[HonestClient]:
         """Select the subset of clients participating in this round."""
-        if not 0.0 < fraction <= 1.0:
-            raise ValueError("fraction must be in (0, 1]")
-        count = max(int(round(fraction * len(clients))), 1)
-        indices = self._rng.choice(len(clients), size=count, replace=False)
-        return [clients[index] for index in sorted(indices)]
+        from repro.fl.runtime.runtime import sample_by_fraction
+
+        return sample_by_fraction(clients, fraction, self._rng)
 
     def aggregate(self, updates: Sequence[ModelUpdate]) -> None:
         """Aggregate client updates and install them as the new global model."""
@@ -52,8 +56,30 @@ class FLServer:
         self.global_model.load_state_dict(aggregated)
 
     # ------------------------------------------------------------------ #
-    # One full round
+    # One full round (delegates to the federation runtime)
     # ------------------------------------------------------------------ #
+    def runtime_hooks(self, fraction: float = 1.0):
+        """Round hooks routing through this server's overridable methods.
+
+        Subclasses that override :meth:`sample_clients`, :meth:`broadcast`
+        or :meth:`aggregate` keep working when a round is driven by the
+        federation runtime on the server's behalf.
+        """
+        from repro.fl.runtime import RoundHooks
+
+        def aggregate_via_server(updates: Sequence[ModelUpdate]) -> None:
+            # Installs into the global model itself; returning None tells the
+            # runtime not to re-install.
+            self.aggregate(updates)
+
+        return RoundHooks(
+            sample_clients=lambda population, _round, _rng: self.sample_clients(
+                list(population), fraction
+            ),
+            broadcast_state=lambda _round: self.broadcast().state,
+            aggregate=aggregate_via_server,
+        )
+
     def run_round(
         self,
         clients: Sequence[HonestClient],
@@ -61,28 +87,22 @@ class FLServer:
         eval_images: np.ndarray | None = None,
         eval_labels: np.ndarray | None = None,
     ) -> RoundResult:
-        """Broadcast, collect local updates, aggregate and evaluate."""
-        participants = self.sample_clients(clients, fraction)
-        broadcast = self.broadcast()
-        updates: list[ModelUpdate] = []
-        for client in participants:
-            client.receive(broadcast.copy())
-            updates.append(client.local_update(self.round_index))
-        self.aggregate(updates)
-        accuracy = float("nan")
-        if eval_images is not None and eval_labels is not None:
-            accuracy = self.global_model.accuracy(eval_images, eval_labels)
-        result = RoundResult(
+        """Broadcast, collect local updates, aggregate and evaluate.
+
+        Runs one round through a :class:`FederationRuntime` over the
+        in-process transport, keeping this server's sampling RNG,
+        broadcast packaging and aggregation behaviour.
+        """
+        from repro.fl.runtime import FederationRuntime, InProcessTransport
+
+        runtime = FederationRuntime(
+            global_model=self.global_model,
+            clients=clients,
+            transport=InProcessTransport(),
+            aggregation_rule=self.aggregation_rule,
+            hooks=self.runtime_hooks(fraction),
             round_index=self.round_index,
-            participating_clients=[client.client_id for client in participants],
-            global_accuracy=accuracy,
-            mean_client_loss=float(np.nanmean([update.train_loss for update in updates])),
-            update_bytes=sum(update.nbytes for update in updates),
-            compromised_clients=[
-                client.client_id
-                for client in participants
-                if type(client).__name__ == "CompromisedClient"
-            ],
         )
-        self.round_index += 1
+        result = runtime.run_round(eval_images=eval_images, eval_labels=eval_labels)
+        self.round_index = runtime.round_index
         return result

@@ -5,6 +5,7 @@ Run any registered scenario (table, figure or ablation) by name::
     python -m repro.run table3_cifar10
     python -m repro.run table4_cifar10 --scale full --workers 8
     python -m repro.run ablation_epsilon --set eval_samples=32 --set epsilon_scale=1.5
+    python -m repro.run fl_fedavg --scale tiny --backend process --workers 4
     python -m repro.run --list
 
 Results are printed as the paper's tables and persisted as JSON under

@@ -3,18 +3,18 @@
 from __future__ import annotations
 
 import os
-from typing import Mapping
+from typing import IO, Mapping
 
 import numpy as np
 
 
-def save_state(path: str | os.PathLike, state: Mapping[str, np.ndarray]) -> None:
-    """Save a flat mapping of arrays to ``path`` (``.npz``)."""
+def save_state(path: str | os.PathLike | IO[bytes], state: Mapping[str, np.ndarray]) -> None:
+    """Save a flat mapping of arrays to ``path`` (``.npz``), or a binary stream."""
     arrays = {str(key): np.asarray(value) for key, value in state.items()}
     np.savez(path, **arrays)
 
 
-def load_state(path: str | os.PathLike) -> dict[str, np.ndarray]:
+def load_state(path: str | os.PathLike | IO[bytes]) -> dict[str, np.ndarray]:
     """Load a flat mapping of arrays previously written by :func:`save_state`."""
     with np.load(path, allow_pickle=False) as archive:
         return {key: archive[key] for key in archive.files}

@@ -103,6 +103,25 @@ class TestServerAndTrainer:
         for name, parameter in server.global_model.named_parameters():
             np.testing.assert_allclose(parameter.data, expected[name])
 
+    def test_subclass_aggregate_and_broadcast_overrides_are_honoured(self, rng):
+        """run_round must keep routing through the overridable server methods."""
+        calls = {"broadcast": 0, "aggregate": 0}
+
+        class SpyServer(FLServer):
+            def broadcast(self):
+                calls["broadcast"] += 1
+                return super().broadcast()
+
+            def aggregate(self, updates):
+                calls["aggregate"] += 1
+                return super().aggregate(updates)
+
+        images, labels = _toy_federated_data(rng)
+        server = SpyServer(_mlp_factory())
+        clients = [HonestClient("c0", _mlp_factory, images[:30], labels[:30])]
+        server.run_round(clients)
+        assert calls == {"broadcast": 1, "aggregate": 1}
+
     def test_round_result_records_compromised_clients(self, rng):
         images, labels = _toy_federated_data(rng)
         honest = HonestClient("h", _mlp_factory, images[:30], labels[:30])
