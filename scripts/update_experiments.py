@@ -37,6 +37,8 @@ SECTIONS = {
     "fig4": "fig4_saga_sample",
     "ablation_epsilon": "ablation_epsilon",
     "ablation_upsampling": "ablation_upsampling",
+    "attack_budget_curve": "attack_budget_curve",
+    "robustness_curve": "robustness_curve",
     "federated": "fl_",
 }
 

@@ -1,7 +1,14 @@
 """White-box evasion attacks and the PELTA-restricted attacker substitutes."""
 
 from repro.attacks.apgd import APGD
-from repro.attacks.base import Attack, AttackResult, project_linf
+from repro.attacks.base import Attack, AttackResult, IterativeAttack, project_linf
+from repro.attacks.engine import (
+    AttackDriver,
+    CountingView,
+    DriverConfig,
+    QueryCounter,
+    StepInfo,
+)
 from repro.attacks.bpda import (
     UPSAMPLER_STRATEGIES,
     AverageUpsampler,
@@ -35,14 +42,20 @@ __all__ = [
     "APGD",
     "AdversarialPatchAttack",
     "Attack",
+    "AttackDriver",
     "AttackParameters",
     "AttackResult",
     "AttackSuiteConfig",
     "AverageUpsampler",
     "CarliniWagner",
+    "CountingView",
+    "DriverConfig",
     "FGSM",
+    "IterativeAttack",
     "MIM",
     "PGD",
+    "QueryCounter",
+    "StepInfo",
     "RandomProjectionUpsampler",
     "RandomUniform",
     "SelfAttentionGradientAttack",

@@ -4,19 +4,24 @@ A faithful-in-spirit implementation of APGD: momentum updates, a halving
 step-size schedule driven by checkpoints, and restarts from the best point
 found so far.  The full AutoAttack machinery (multiple losses, targeted
 variants) is out of scope; the paper uses the cross-entropy variant.
+
+The step loop runs under the attack driver; the step-size schedule is global
+state over the whole batch, so APGD opts out of active-set shrinking (its
+budget is fixed by construction).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks.base import Attack, project_linf
+from repro.attacks.base import IterativeAttack, project_linf
 
 
-class APGD(Attack):
+class APGD(IterativeAttack):
     """Adaptive-step PGD with momentum and best-point restarts."""
 
     name = "apgd"
+    supports_active_set = False
 
     def __init__(
         self,
@@ -47,47 +52,70 @@ class APGD(Attack):
             position += spacing
         return points
 
-    def craft(self, view, inputs: np.ndarray, labels: np.ndarray) -> np.ndarray:
-        best_overall = np.array(inputs, copy=True)
-        best_overall_loss = np.full(len(labels), -np.inf)
-        for _ in range(self.n_restarts):
-            adversarials, losses = self._one_run(view, inputs, labels)
-            improved = losses > best_overall_loss
-            best_overall[improved] = adversarials[improved]
-            best_overall_loss[improved] = losses[improved]
-        return best_overall
+    # ------------------------------------------------------------------ #
+    # Driver protocol
+    # ------------------------------------------------------------------ #
+    def total_steps(self) -> int:
+        return self.steps * self.n_restarts
 
-    def _one_run(self, view, inputs: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        step_size = 2.0 * self.epsilon
-        checkpoints = set(self._checkpoints())
-        current = np.array(inputs, copy=True)
-        best = np.array(inputs, copy=True)
-        best_loss = view.loss(current, labels, loss="ce")
-        previous = np.array(current, copy=True)
-        improvements = 0
-        since_checkpoint = 0
-        loss_at_checkpoint = best_loss.mean()
-        for iteration in range(self.steps):
-            gradient = self._gradient(view, current, labels, loss="ce")
-            step = step_size * np.sign(gradient)
-            momentum_term = self.momentum * (current - previous)
-            previous = np.array(current, copy=True)
-            current = project_linf(
-                current + step + momentum_term, inputs, self.epsilon, self.clip_min, self.clip_max
-            )
-            losses = view.loss(current, labels, loss="ce")
-            improved = losses > best_loss
-            best[improved] = current[improved]
-            best_loss[improved] = losses[improved]
-            improvements += int(improved.mean() > 0.5)
-            since_checkpoint += 1
-            if iteration in checkpoints and iteration > 0:
-                # Halve the step size when progress stalled since last checkpoint
-                # (condition 1 of APGD: too few improving iterations).
-                if improvements < self.rho * since_checkpoint or best_loss.mean() <= loss_at_checkpoint:
-                    step_size /= 2.0
-                    current = np.array(best, copy=True)
-                improvements = 0
-                since_checkpoint = 0
-                loss_at_checkpoint = best_loss.mean()
-        return best, best_loss
+    def init_state(self, views, inputs: np.ndarray, labels: np.ndarray) -> dict:
+        return {
+            "checkpoints": set(self._checkpoints()),
+            "best_overall": np.array(inputs, copy=True),
+            "best_overall_loss": np.full(len(labels), -np.inf),
+        }
+
+    def _merge_run(self, state: dict) -> None:
+        """Fold the finished restart's best points into the overall best."""
+        improved = state["best_loss"] > state["best_overall_loss"]
+        state["best_overall"][improved] = state["best"][improved]
+        state["best_overall_loss"][improved] = state["best_loss"][improved]
+
+    def step(self, views, adversarials, originals, labels, state, iteration) -> np.ndarray:
+        view = views[0]
+        local = iteration % self.steps
+        if local == 0:
+            if iteration:
+                self._merge_run(state)
+            adversarials = np.array(originals, copy=True)
+            state["best"] = np.array(originals, copy=True)
+            state["best_loss"] = view.loss(adversarials, labels, loss="ce")
+            state["previous"] = np.array(adversarials, copy=True)
+            state["step_size"] = 2.0 * self.epsilon
+            state["improvements"] = 0
+            state["since_checkpoint"] = 0
+            state["loss_at_checkpoint"] = state["best_loss"].mean()
+        gradient = view.gradient(adversarials, labels, loss="ce")
+        step = state["step_size"] * np.sign(gradient)
+        momentum_term = self.momentum * (adversarials - state["previous"])
+        state["previous"] = np.array(adversarials, copy=True)
+        current = project_linf(
+            adversarials + step + momentum_term,
+            originals,
+            self.epsilon,
+            self.clip_min,
+            self.clip_max,
+        )
+        losses = view.loss(current, labels, loss="ce")
+        improved = losses > state["best_loss"]
+        state["best"][improved] = current[improved]
+        state["best_loss"][improved] = losses[improved]
+        state["improvements"] += int(improved.mean() > 0.5)
+        state["since_checkpoint"] += 1
+        if local in state["checkpoints"] and local > 0:
+            # Halve the step size when progress stalled since last checkpoint
+            # (condition 1 of APGD: too few improving iterations).
+            if (
+                state["improvements"] < self.rho * state["since_checkpoint"]
+                or state["best_loss"].mean() <= state["loss_at_checkpoint"]
+            ):
+                state["step_size"] /= 2.0
+                current = np.array(state["best"], copy=True)
+            state["improvements"] = 0
+            state["since_checkpoint"] = 0
+            state["loss_at_checkpoint"] = state["best_loss"].mean()
+        return current
+
+    def finalize(self, views, adversarials, originals, labels, state) -> np.ndarray:
+        self._merge_run(state)
+        return state["best_overall"]

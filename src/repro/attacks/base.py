@@ -1,12 +1,23 @@
-"""Common attack machinery: results, projections and the attack base class."""
+"""Common attack machinery: results, projections and the attack base classes.
+
+Since the attack-engine refactor the step loop of every iterative attack is
+owned by :class:`repro.attacks.engine.AttackDriver`: attacks subclass
+:class:`IterativeAttack` and implement per-step primitives
+(:meth:`~IterativeAttack.step`, optional :meth:`~IterativeAttack.initialize`
+/ :meth:`~IterativeAttack.init_state` / :meth:`~IterativeAttack.finalize`),
+and the driver supplies projection-agnostic orchestration: gradient-query
+counting, per-step callbacks and active-set shrinking.  Legacy subclasses
+that only implement :meth:`Attack.craft` keep working through a thin wrapper
+(with a :class:`DeprecationWarning` pointing at the driver API).
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
+from typing import ClassVar
 
 import numpy as np
-
-from repro.autodiff.tensor import get_default_dtype
 
 
 @dataclass
@@ -20,8 +31,13 @@ class AttackResult:
     #: Per-sample success *from the attacker's point of view* (the view used to
     #: craft the examples misclassifies them).
     success: np.ndarray
-    #: Number of gradient queries issued to the view while crafting.
+    #: Number of gradient calls issued to the view while crafting (one batched
+    #: backward pass counts as one call, matching the seed convention).
     gradient_queries: int = 0
+    #: Per-sample gradient-query counts: how many backward passes included
+    #: each sample.  ``None`` for legacy craft-only attacks run outside the
+    #: driver's counting machinery.
+    queries_per_sample: np.ndarray | None = None
 
     @property
     def perturbations(self) -> np.ndarray:
@@ -32,6 +48,13 @@ class AttackResult:
     def success_rate(self) -> float:
         """Fraction of samples the attacker believes are misclassified."""
         return float(np.mean(self.success)) if len(self.success) else 0.0
+
+    @property
+    def total_sample_queries(self) -> int:
+        """Total per-sample gradient computations (the active-set metric)."""
+        if self.queries_per_sample is None:
+            return self.gradient_queries * len(self.labels)
+        return int(self.queries_per_sample.sum())
 
     def linf_norms(self) -> np.ndarray:
         """Per-sample l-infinity perturbation magnitude."""
@@ -62,6 +85,8 @@ class Attack:
     Sub-classes implement :meth:`craft`, which maps a batch of clean samples
     to adversarial candidates using only the supplied gradient view (so the
     same attack code runs in the white-box and the PELTA-restricted setting).
+    New attacks should subclass :class:`IterativeAttack` instead and let the
+    driver own the step loop.
     """
 
     name = "attack"
@@ -70,23 +95,92 @@ class Attack:
         raise NotImplementedError
 
     def run(self, view, inputs: np.ndarray, labels: np.ndarray) -> AttackResult:
-        """Craft adversarial examples and record the attacker-side success."""
-        inputs = np.asarray(inputs, dtype=get_default_dtype())
-        labels = np.asarray(labels, dtype=np.int64)
-        self._queries = 0
-        adversarials = self.craft(view, inputs, labels)
-        predictions = view.predict(adversarials)
-        success = predictions != labels
-        return AttackResult(
-            attack_name=self.name,
-            originals=inputs,
-            adversarials=adversarials,
-            labels=labels,
-            success=success,
-            gradient_queries=getattr(self, "_queries", 0),
-        )
+        """Craft adversarial examples and record the attacker-side success.
+
+        Compatibility entry point: runs through the driver with active-set
+        shrinking disabled, which reproduces the seed behaviour exactly.
+        Build an :class:`~repro.attacks.engine.AttackDriver` directly for
+        active-set shrinking, backend selection or per-step callbacks.
+        """
+        from repro.attacks.engine.driver import AttackDriver, DriverConfig
+
+        driver = AttackDriver(DriverConfig(active_set=False, backend=None))
+        return driver.run(self, view, inputs, labels)
 
     def _gradient(self, view, inputs, labels, **kwargs) -> np.ndarray:
-        """Query the view for a gradient, counting the query."""
-        self._queries = getattr(self, "_queries", 0) + 1
+        """Deprecated: query the view directly; the driver counts queries."""
+        warnings.warn(
+            "Attack._gradient is deprecated; call view.gradient(...) directly — "
+            "the attack driver counts gradient queries on the view",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return view.gradient(inputs, labels, **kwargs)
+
+
+class IterativeAttack(Attack):
+    """An attack whose step loop is executed by the attack driver.
+
+    The driver calls, in order: :meth:`initialize` (starting iterates),
+    :meth:`init_state` (auxiliary state), then :meth:`step` once per
+    iteration, and finally :meth:`finalize`.  ``views`` is always a tuple of
+    gradient views — one entry for single-model attacks, two (ViT, CNN) for
+    the ensemble SAGA attack.
+
+    When :attr:`supports_active_set` is true, every array in the state dict
+    must be per-sample along its first axis: the driver slices the batch
+    (and the state) down to the samples that do not yet fool the view.
+    Attacks with global state or fixed-budget semantics (APGD's step-size
+    schedule, C&W's margin maximisation) opt out by leaving it false.
+    """
+
+    #: Number of driver iterations (see :meth:`total_steps`).
+    steps: int = 1
+    #: Whether the driver may shrink the batch to not-yet-successful samples.
+    supports_active_set: ClassVar[bool] = False
+
+    def total_steps(self) -> int:
+        """Total driver iterations (restart-based attacks multiply here)."""
+        return self.steps
+
+    def initialize(self, views, inputs: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Starting iterates (default: a copy of the clean batch)."""
+        return np.array(inputs, copy=True)
+
+    def init_state(self, views, inputs: np.ndarray, labels: np.ndarray) -> dict:
+        """Auxiliary state threaded through :meth:`step` (default: none)."""
+        return {}
+
+    def step(
+        self,
+        views,
+        adversarials: np.ndarray,
+        originals: np.ndarray,
+        labels: np.ndarray,
+        state: dict,
+        iteration: int,
+    ) -> np.ndarray:
+        """Advance the (possibly shrunken) batch by one iteration."""
+        raise NotImplementedError
+
+    def finalize(
+        self,
+        views,
+        adversarials: np.ndarray,
+        originals: np.ndarray,
+        labels: np.ndarray,
+        state: dict,
+    ) -> np.ndarray:
+        """Select the final adversarials (default: the last iterates)."""
+        return adversarials
+
+    def is_successful(self, views, adversarials: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Attacker-side success of the current iterates (view misclassifies)."""
+        return views[0].predict(adversarials) != labels
+
+    def craft(self, view, inputs: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Full-batch crafting (driver-backed, active-set disabled)."""
+        from repro.attacks.engine.driver import AttackDriver, DriverConfig
+
+        driver = AttackDriver(DriverConfig(active_set=False, backend=None))
+        return driver.run(self, view, inputs, labels).adversarials

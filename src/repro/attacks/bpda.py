@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autodiff.conv import conv_transpose2d_numpy
+from repro.autodiff.tensor import get_default_dtype
 from repro.core.shielded_model import ShieldedModel
 from repro.core.views import FullWhiteBoxView, RestrictedWhiteBoxView
 from repro.models.base import ImageClassifier
@@ -58,7 +59,9 @@ class TransposedConvUpsampler:
             kernel = self._rng.uniform(
                 -1.0, 1.0, size=(c_out, c_in, kernel_size, kernel_size)
             ) * (self.scale / np.sqrt(c_out * kernel_size * kernel_size))
-            self._kernels[key] = (kernel, stride)
+            # The generator draws float64; cast so the substitute gradient does
+            # not silently promote float32 attacks back to float64.
+            self._kernels[key] = (kernel.astype(get_default_dtype(), copy=False), stride)
         return self._kernels[key]
 
     def __call__(self, adjoint: np.ndarray, input_shape: tuple[int, ...]) -> np.ndarray:
@@ -84,7 +87,7 @@ class AverageUpsampler:
         averaged = adjoint.mean(axis=1, keepdims=True)  # collapse frontier channels
         factor_h = max(h // h_p, 1)
         factor_w = max(w // w_p, 1)
-        upsampled = np.kron(averaged, np.ones((1, 1, factor_h, factor_w)))
+        upsampled = np.kron(averaged, np.ones((1, 1, factor_h, factor_w), dtype=adjoint.dtype))
         upsampled = upsampled[:, :, :h, :w]
         if upsampled.shape[2] < h or upsampled.shape[3] < w:
             pad_h = h - upsampled.shape[2]
@@ -113,9 +116,10 @@ class RandomProjectionUpsampler:
         flat_size = int(np.prod(input_shape[1:]))
         key = (dim, flat_size)
         if key not in self._kernels:
-            self._kernels[key] = self._rng.uniform(-1.0, 1.0, size=(dim, flat_size)) * (
+            kernel = self._rng.uniform(-1.0, 1.0, size=(dim, flat_size)) * (
                 self.scale / np.sqrt(dim)
             )
+            self._kernels[key] = kernel.astype(get_default_dtype(), copy=False)
         projected = adjoint @ self._kernels[key]
         return projected.reshape(n, *input_shape[1:])
 
@@ -131,9 +135,10 @@ class TokenUnprojectionUpsampler:
     def _kernel_for(self, dim: int, patch_elems: int) -> np.ndarray:
         key = (dim, patch_elems)
         if key not in self._kernels:
-            self._kernels[key] = self._rng.uniform(
+            kernel = self._rng.uniform(
                 -1.0, 1.0, size=(dim, patch_elems)
             ) * (self.scale / np.sqrt(dim))
+            self._kernels[key] = kernel.astype(get_default_dtype(), copy=False)
         return self._kernels[key]
 
     def __call__(self, adjoint: np.ndarray, input_shape: tuple[int, ...]) -> np.ndarray:
@@ -188,13 +193,15 @@ def make_attacker_view(
     model: ImageClassifier | ShieldedModel,
     strategy: str = "auto",
     rng: np.random.Generator | None = None,
+    backend="eager",
 ):
     """Build the gradient view an attacker gets for ``model``.
 
     Plain models yield the exact white-box view; shielded models yield the
     PELTA-restricted view whose gradients are upsampled frontier adjoints.
+    ``backend`` selects the gradient execution mode (``"eager"``/``"captured"``).
     """
     if isinstance(model, ShieldedModel):
         upsampler = make_upsampler(model.family, strategy=strategy, rng=rng)
-        return RestrictedWhiteBoxView(model, upsampler)
-    return FullWhiteBoxView(model)
+        return RestrictedWhiteBoxView(model, upsampler, backend=backend)
+    return FullWhiteBoxView(model, backend=backend)

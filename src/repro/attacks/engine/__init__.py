@@ -1,0 +1,24 @@
+"""Attack execution engine: the iterative-attack driver and its plumbing.
+
+The driver owns the step loop that every gradient attack used to hand-roll:
+shared projection/step orchestration, an explicit per-sample gradient-query
+counter, per-step callbacks, active-set shrinking (samples that already fool
+the view drop out of the batch) and execution-backend selection
+(``eager``/``captured`` graph execution from :mod:`repro.autodiff.capture`).
+"""
+
+from repro.attacks.engine.driver import (
+    AttackDriver,
+    CountingView,
+    DriverConfig,
+    QueryCounter,
+    StepInfo,
+)
+
+__all__ = [
+    "AttackDriver",
+    "CountingView",
+    "DriverConfig",
+    "QueryCounter",
+    "StepInfo",
+]

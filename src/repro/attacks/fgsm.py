@@ -4,20 +4,22 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks.base import Attack, project_linf
+from repro.attacks.base import IterativeAttack, project_linf
 
 
-class FGSM(Attack):
+class FGSM(IterativeAttack):
     """One-step l∞ attack: ``x_adv = x + ε · sign(∇_x L(x, y))``."""
 
     name = "fgsm"
+    steps = 1
+    supports_active_set = True
 
     def __init__(self, epsilon: float = 0.031, clip_min: float = 0.0, clip_max: float = 1.0):
         self.epsilon = epsilon
         self.clip_min = clip_min
         self.clip_max = clip_max
 
-    def craft(self, view, inputs: np.ndarray, labels: np.ndarray) -> np.ndarray:
-        gradient = self._gradient(view, inputs, labels, loss="ce")
-        candidates = inputs + self.epsilon * np.sign(gradient)
-        return project_linf(candidates, inputs, self.epsilon, self.clip_min, self.clip_max)
+    def step(self, views, adversarials, originals, labels, state, iteration) -> np.ndarray:
+        gradient = views[0].gradient(adversarials, labels, loss="ce")
+        candidates = adversarials + self.epsilon * np.sign(gradient)
+        return project_linf(candidates, originals, self.epsilon, self.clip_min, self.clip_max)

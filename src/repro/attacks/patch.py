@@ -5,22 +5,27 @@ malicious *sticker*: a localised patch that, once pasted on a physical object,
 makes the collaboratively trained model misclassify it.  Unlike the ε-bounded
 evasion attacks, the patch is unconstrained inside its region but touches
 nothing outside it.
+
+One patch is optimised for the whole batch (the gradient is averaged across
+samples), so the attack holds global state and opts out of active-set
+shrinking.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.attacks.base import IterativeAttack
 from repro.autodiff.tensor import get_default_dtype
-from repro.attacks.base import Attack, AttackResult
 from repro.data.transforms import apply_patch
 from repro.utils.rng import get_rng
 
 
-class AdversarialPatchAttack(Attack):
+class AdversarialPatchAttack(IterativeAttack):
     """Craft a square patch that maximises the defender's loss when pasted."""
 
     name = "patch"
+    supports_active_set = False
 
     def __init__(
         self,
@@ -45,21 +50,25 @@ class AdversarialPatchAttack(Attack):
         mask[:, :, self.row : self.row + self.patch_size, self.col : self.col + self.patch_size] = 1.0
         return mask
 
-    def craft(self, view, inputs: np.ndarray, labels: np.ndarray) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=get_default_dtype())
+    def init_state(self, views, inputs: np.ndarray, labels: np.ndarray) -> dict:
         channels = inputs.shape[1]
         patch = self._rng.uniform(0.0, 1.0, size=(channels, self.patch_size, self.patch_size))
-        mask = self._mask(inputs.shape)
-        for _ in range(self.steps):
-            patched = apply_patch(inputs, patch, self.row, self.col)
-            gradient = self._gradient(view, patched, labels, loss="ce")
-            patch_gradient = (gradient * mask)[
-                :, :, self.row : self.row + self.patch_size, self.col : self.col + self.patch_size
-            ].mean(axis=0)
-            patch = np.clip(patch + self.step_size * np.sign(patch_gradient), 0.0, 1.0)
-        self.last_patch = patch
-        return apply_patch(inputs, patch, self.row, self.col)
+        return {
+            # The generator draws float64; keep the patch in the default dtype.
+            "patch": patch.astype(get_default_dtype(), copy=False),
+            "mask": self._mask(inputs.shape),
+        }
 
-    def run(self, view, inputs: np.ndarray, labels: np.ndarray) -> AttackResult:
-        result = super().run(view, inputs, labels)
-        return result
+    def step(self, views, adversarials, originals, labels, state, iteration) -> np.ndarray:
+        patch, mask = state["patch"], state["mask"]
+        patched = apply_patch(originals, patch, self.row, self.col)
+        gradient = views[0].gradient(patched, labels, loss="ce")
+        patch_gradient = (gradient * mask)[
+            :, :, self.row : self.row + self.patch_size, self.col : self.col + self.patch_size
+        ].mean(axis=0)
+        state["patch"] = np.clip(patch + self.step_size * np.sign(patch_gradient), 0.0, 1.0)
+        return apply_patch(originals, state["patch"], self.row, self.col)
+
+    def finalize(self, views, adversarials, originals, labels, state) -> np.ndarray:
+        self.last_patch = state["patch"]
+        return apply_patch(originals, state["patch"], self.row, self.col)

@@ -4,18 +4,21 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks.base import Attack, project_linf
+from repro.attacks.base import IterativeAttack, project_linf
 from repro.utils.rng import get_rng
 
 
-class PGD(Attack):
+class PGD(IterativeAttack):
     """Multi-step l∞ attack with projection back into the ε-ball.
 
     The i-th step is ``x_i = P(x_{i-1} + ε_step · sign(∇_x L))`` where P
     projects out-of-bound values back into the ε-ball (Fig. 3 of the paper).
+    The step loop is owned by the attack driver, so PGD participates in
+    active-set shrinking.
     """
 
     name = "pgd"
+    supports_active_set = True
 
     def __init__(
         self,
@@ -35,15 +38,19 @@ class PGD(Attack):
         self.clip_max = clip_max
         self._rng = rng if rng is not None else get_rng("attacks.pgd")
 
-    def craft(self, view, inputs: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    def initialize(self, views, inputs: np.ndarray, labels: np.ndarray) -> np.ndarray:
         adversarials = np.array(inputs, copy=True)
         if self.random_start:
-            adversarials = adversarials + self._rng.uniform(
-                -self.epsilon, self.epsilon, size=adversarials.shape
+            noise = self._rng.uniform(-self.epsilon, self.epsilon, size=adversarials.shape)
+            # The generator draws float64; cast so a float32 attack does not
+            # silently promote the whole crafting loop to float64.
+            adversarials = adversarials + noise.astype(adversarials.dtype, copy=False)
+            adversarials = project_linf(
+                adversarials, inputs, self.epsilon, self.clip_min, self.clip_max
             )
-            adversarials = project_linf(adversarials, inputs, self.epsilon, self.clip_min, self.clip_max)
-        for _ in range(self.steps):
-            gradient = self._gradient(view, adversarials, labels, loss="ce")
-            adversarials = adversarials + self.step_size * np.sign(gradient)
-            adversarials = project_linf(adversarials, inputs, self.epsilon, self.clip_min, self.clip_max)
         return adversarials
+
+    def step(self, views, adversarials, originals, labels, state, iteration) -> np.ndarray:
+        gradient = views[0].gradient(adversarials, labels, loss="ce")
+        adversarials = adversarials + self.step_size * np.sign(gradient)
+        return project_linf(adversarials, originals, self.epsilon, self.clip_min, self.clip_max)

@@ -4,19 +4,22 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks.base import Attack, project_linf
+from repro.attacks.base import IterativeAttack, project_linf
 from repro.utils.rng import get_rng
 
 
-class RandomUniform(Attack):
+class RandomUniform(IterativeAttack):
     """Uniform noise on the surface of the l∞ ε-ball (no gradient information).
 
     This is the paper's lower bound for an attacker: astuteness against it
     measures how sensitive the defender is to arbitrary, non-adversarial
-    perturbations of the same magnitude.
+    perturbations of the same magnitude.  Every sample is perturbed exactly
+    once, so the baseline opts out of active-set shrinking.
     """
 
     name = "random"
+    steps = 1
+    supports_active_set = False
 
     def __init__(
         self,
@@ -30,6 +33,10 @@ class RandomUniform(Attack):
         self.clip_max = clip_max
         self._rng = rng if rng is not None else get_rng("attacks.random")
 
-    def craft(self, view, inputs: np.ndarray, labels: np.ndarray) -> np.ndarray:
-        noise = self._rng.uniform(-self.epsilon, self.epsilon, size=np.shape(inputs))
-        return project_linf(inputs + noise, inputs, self.epsilon, self.clip_min, self.clip_max)
+    def step(self, views, adversarials, originals, labels, state, iteration) -> np.ndarray:
+        noise = self._rng.uniform(-self.epsilon, self.epsilon, size=np.shape(originals))
+        # The generator draws float64; cast to keep float32 batches float32.
+        noise = noise.astype(originals.dtype, copy=False)
+        return project_linf(
+            originals + noise, originals, self.epsilon, self.clip_min, self.clip_max
+        )

@@ -15,14 +15,17 @@ When a member is shielded by PELTA, its gradient term is whatever its
 restricted view exposes — the upsampled frontier adjoint — while the
 attention maps (which live in the clear trunk) remain available.  This is
 exactly the four-setting evaluation of Table IV.
+
+The step loop runs under the attack driver with a two-view bundle; a sample
+counts as successful when *either* member misclassifies it, and successful
+samples drop out of the batch under active-set shrinking.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.autodiff.tensor import get_default_dtype
-from repro.attacks.base import Attack, AttackResult, project_linf
+from repro.attacks.base import AttackResult, IterativeAttack, project_linf
 
 
 def attention_rollout(attention_maps: list[np.ndarray]) -> np.ndarray:
@@ -64,10 +67,11 @@ def attention_image_weights(rollout: np.ndarray, image_shape: tuple[int, ...]) -
     return upsampled[:, :, :h, :w]
 
 
-class SelfAttentionGradientAttack(Attack):
+class SelfAttentionGradientAttack(IterativeAttack):
     """SAGA against a two-member (ViT + CNN) random-selection ensemble."""
 
     name = "saga"
+    supports_active_set = True
 
     def __init__(
         self,
@@ -91,9 +95,9 @@ class SelfAttentionGradientAttack(Attack):
         self, vit_view, cnn_view, inputs: np.ndarray, labels: np.ndarray
     ) -> np.ndarray:
         """Compute G_blend at ``inputs`` using whatever each view exposes."""
-        grad_vit = self._gradient(vit_view, inputs, labels, loss="ce")
+        grad_vit = vit_view.gradient(inputs, labels, loss="ce")
         attention_maps = vit_view.attention_maps()
-        grad_cnn = self._gradient(cnn_view, inputs, labels, loss="ce")
+        grad_cnn = cnn_view.gradient(inputs, labels, loss="ce")
         if attention_maps:
             rollout = attention_rollout(attention_maps)
             weights = attention_image_weights(rollout, inputs.shape)
@@ -102,19 +106,38 @@ class SelfAttentionGradientAttack(Attack):
             vit_term = grad_vit
         return self.alpha_cnn * grad_cnn + self.alpha_vit * vit_term
 
+    # ------------------------------------------------------------------ #
+    # Driver protocol (two-view ensemble, or a single-view degenerate form)
+    # ------------------------------------------------------------------ #
+    def step(self, views, adversarials, originals, labels, state, iteration) -> np.ndarray:
+        if len(views) >= 2:
+            blended = self.blended_gradient(views[0], views[1], adversarials, labels)
+        else:
+            # Degenerate single-model SAGA: only the attention-weighted term.
+            blended = views[0].gradient(adversarials, labels, loss="ce")
+            attention_maps = views[0].attention_maps()
+            if attention_maps:
+                rollout = attention_rollout(attention_maps)
+                weights = attention_image_weights(rollout, adversarials.shape)
+                blended = weights * blended
+        adversarials = adversarials + self.step_size * np.sign(blended)
+        return project_linf(adversarials, originals, self.epsilon, self.clip_min, self.clip_max)
+
+    def is_successful(self, views, adversarials: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """A sample succeeds when *either* ensemble member misclassifies it."""
+        fooled = views[0].predict(adversarials) != labels
+        for view in views[1:]:
+            fooled = fooled | (view.predict(adversarials) != labels)
+        return fooled
+
+    # ------------------------------------------------------------------ #
+    # Ensemble entry points
+    # ------------------------------------------------------------------ #
     def craft_against_ensemble(
         self, vit_view, cnn_view, inputs: np.ndarray, labels: np.ndarray
     ) -> np.ndarray:
         """Iteratively craft adversarial examples against both members."""
-        self._queries = 0
-        adversarials = np.array(inputs, copy=True)
-        for _ in range(self.steps):
-            blended = self.blended_gradient(vit_view, cnn_view, adversarials, labels)
-            adversarials = adversarials + self.step_size * np.sign(blended)
-            adversarials = project_linf(
-                adversarials, inputs, self.epsilon, self.clip_min, self.clip_max
-            )
-        return adversarials
+        return self.run_against_ensemble(vit_view, cnn_view, inputs, labels).adversarials
 
     def run_against_ensemble(
         self,
@@ -122,37 +145,11 @@ class SelfAttentionGradientAttack(Attack):
         cnn_view,
         inputs: np.ndarray,
         labels: np.ndarray,
+        driver=None,
     ) -> AttackResult:
         """Craft against both members and score success against *either* member."""
-        inputs = np.asarray(inputs, dtype=get_default_dtype())
-        labels = np.asarray(labels, dtype=np.int64)
-        adversarials = self.craft_against_ensemble(vit_view, cnn_view, inputs, labels)
-        fooled_vit = vit_view.predict(adversarials) != labels
-        fooled_cnn = cnn_view.predict(adversarials) != labels
-        return AttackResult(
-            attack_name=self.name,
-            originals=inputs,
-            adversarials=adversarials,
-            labels=labels,
-            success=fooled_vit | fooled_cnn,
-            gradient_queries=self._queries,
-        )
+        if driver is None:
+            from repro.attacks.engine.driver import AttackDriver, DriverConfig
 
-    # ------------------------------------------------------------------ #
-    # Single-view fallback (lets SAGA participate in the generic Attack API)
-    # ------------------------------------------------------------------ #
-    def craft(self, view, inputs: np.ndarray, labels: np.ndarray) -> np.ndarray:
-        """Degenerate single-model SAGA: only the attention-weighted term."""
-        adversarials = np.array(inputs, copy=True)
-        for _ in range(self.steps):
-            gradient = self._gradient(view, adversarials, labels, loss="ce")
-            attention_maps = view.attention_maps()
-            if attention_maps:
-                rollout = attention_rollout(attention_maps)
-                weights = attention_image_weights(rollout, inputs.shape)
-                gradient = weights * gradient
-            adversarials = adversarials + self.step_size * np.sign(gradient)
-            adversarials = project_linf(
-                adversarials, inputs, self.epsilon, self.clip_min, self.clip_max
-            )
-        return adversarials
+            driver = AttackDriver(DriverConfig(active_set=False, backend=None))
+        return driver.run(self, (vit_view, cnn_view), inputs, labels)

@@ -8,9 +8,19 @@ computational graph that :mod:`repro.core` (the PELTA shielding algorithm)
 can inspect and shield.
 """
 
+from repro.autodiff.capture import (
+    EXECUTION_BACKENDS,
+    CapturedExecution,
+    EagerExecution,
+    GraphCaptureError,
+    GraphRecording,
+    TraceHandles,
+    resolve_execution_backend,
+)
 from repro.autodiff.context import (
     ShieldRegion,
     active_shield_region,
+    frozen_parameters,
     is_grad_enabled,
     no_grad,
     shield_scope,
@@ -50,10 +60,17 @@ from repro.autodiff.tensor import (
 )
 
 __all__ = [
+    "CapturedExecution",
+    "EXECUTION_BACKENDS",
+    "EagerExecution",
+    "GraphCaptureError",
     "GraphNode",
+    "GraphRecording",
     "GraphSnapshot",
     "ShieldRegion",
     "Tensor",
+    "TraceHandles",
+    "resolve_execution_backend",
     "active_shield_region",
     "as_tensor",
     "avg_pool2d",
@@ -63,6 +80,7 @@ __all__ = [
     "conv_transpose2d_numpy",
     "cross_entropy",
     "dropout",
+    "frozen_parameters",
     "gelu",
     "get_default_dtype",
     "global_avg_pool2d",

@@ -1,0 +1,226 @@
+"""Captured-graph execution: record a graph once, replay it with reused buffers.
+
+Iterative gradient attacks issue hundreds of structurally identical gradient
+queries: same model, same input shape, same objective — only the input values
+change.  The eager engine rebuilds the whole Python graph (tensor objects,
+closures, shield-region bookkeeping, topological sort) for every query.  This
+module removes that overhead behind a pluggable *execution backend* seam:
+
+* :class:`EagerExecution` — the classic behaviour: trace a fresh graph per
+  query and run :meth:`~repro.autodiff.tensor.Tensor.backward` on it.
+* :class:`CapturedExecution` — record the graph once per (trace key, input
+  shape), then replay it: new input values are copied into the recorded
+  input buffer, every input-dependent node recomputes its output **in
+  place** through the ``forward_fn`` thunks the ops registered at record
+  time, and the recorded backward closures run in the recorded order.
+
+Because a replay executes exactly the same NumPy expressions in exactly the
+same order as the eager pass that recorded it, its gradients are
+**bit-identical** to eager — only the per-query Python overhead is gone.
+Graphs containing non-replayable ops (e.g. training-mode dropout, which
+redraws its mask per call) transparently fall back to eager execution.
+
+A recording owns its buffers, so it must not be shared across threads, and it
+assumes the model parameters do not change between replays (true for the
+attack hot path: defenders are frozen while being attacked).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor, topological_order
+from repro.utils.logging import get_logger
+
+_LOGGER = get_logger("autodiff.capture")
+
+#: Names accepted by :func:`resolve_execution_backend`.
+EXECUTION_BACKENDS = ("eager", "captured")
+
+
+class GraphCaptureError(RuntimeError):
+    """A recorded graph cannot be replayed (unsupported op or shape drift)."""
+
+
+@dataclass
+class TraceHandles:
+    """Live graph handles a trace hands back to the execution backend.
+
+    ``rebinds`` are ``(obj, attribute, value)`` triples re-applied after every
+    replay so that side-channel attributes set during the record-time forward
+    pass (e.g. a shielded model's ``last_frontier``, an attention module's
+    ``last_attention_weights``) point back at the recorded tensors, whose
+    buffers the replay refreshed in place.
+    """
+
+    objective: Tensor
+    input: Tensor
+    rebinds: list[tuple[object, str, object]] = field(default_factory=list)
+
+
+class GraphRecording:
+    """A replayable snapshot of one (input → objective) graph."""
+
+    def __init__(self, handles: TraceHandles):
+        self.input = handles.input
+        self.objective = handles.objective
+        self.rebinds = list(handles.rebinds)
+        order = topological_order(self.objective)
+        dependent: set[int] = {self.input.node_id}
+        replay: list[Tensor] = []
+        for node in order:
+            if node is self.input:
+                continue
+            if any(parent.node_id in dependent for parent in node.parents):
+                dependent.add(node.node_id)
+                if node.forward_fn is None:
+                    raise GraphCaptureError(
+                        f"op {node.op!r} does not support captured-graph replay"
+                    )
+                replay.append(node)
+        #: Topological order of the whole graph (grads are reset over it).
+        self._order = order
+        #: Input-dependent non-leaf nodes, in forward order, paired with a
+        #: lazily-decided copy flag (False once a node's thunk is known to
+        #: return the identical memory view, e.g. reshape/transpose).
+        self._replay: list[list] = [[node, None] for node in replay]
+        self._reversed = list(reversed(order))
+        self._seed = np.ones_like(self.objective.data)
+        #: Number of times this recording has been replayed.
+        self.replays = 0
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def replay(self, inputs: np.ndarray) -> TraceHandles:
+        """Re-execute the recorded forward and backward passes in place."""
+        inputs = np.asarray(inputs)
+        if inputs.shape != self.input.shape:
+            raise GraphCaptureError(
+                f"replay input shape {inputs.shape} != recorded {self.input.shape}"
+            )
+        np.copyto(self.input.data, inputs)
+        for entry in self._replay:
+            node, needs_copy = entry
+            new_value = node.forward_fn()
+            if needs_copy is None:
+                # View-producing ops (reshape, transpose, basic slicing)
+                # return the same memory the node already holds once the
+                # parent buffer is refreshed; copying onto itself is wasted.
+                needs_copy = entry[1] = not (
+                    new_value.shape == node.data.shape
+                    and new_value.strides == node.data.strides
+                    and new_value.__array_interface__["data"][0]
+                    == node.data.__array_interface__["data"][0]
+                )
+            if needs_copy:
+                np.copyto(node.data, new_value)
+        for node in self._order:
+            node.grad = None
+        # Inline of Tensor.backward over the recorded order: same seed, same
+        # reversed traversal, same accumulation order — bit-identical grads.
+        self.objective._accumulate(self._seed)
+        for node in self._reversed:
+            if node.backward_fn is None or node.grad is None:
+                continue
+            node.backward_fn(node.grad)
+        for obj, attribute, value in self.rebinds:
+            setattr(obj, attribute, value)
+        self.replays += 1
+        return TraceHandles(objective=self.objective, input=self.input, rebinds=self.rebinds)
+
+
+#: A trace builds the graph for one query: it creates the input tensor from
+#: the given array, runs the forward pass and objective, and returns handles.
+Trace = Callable[[np.ndarray], TraceHandles]
+
+
+class EagerExecution:
+    """Trace a fresh graph per query (the seed engine's behaviour)."""
+
+    name = "eager"
+
+    def run(self, trace: Trace, inputs: np.ndarray, key: Hashable = None) -> TraceHandles:
+        handles = trace(np.asarray(inputs))
+        handles.objective.backward()
+        return handles
+
+
+@dataclass
+class CaptureStats:
+    """Counters exposed for tests and the throughput bench."""
+
+    records: int = 0
+    replays: int = 0
+    fallbacks: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"records": self.records, "replays": self.replays, "fallbacks": self.fallbacks}
+
+
+class CapturedExecution:
+    """Record-once / replay-many execution with an LRU recording cache.
+
+    ``key`` identifies the *structure* of the query (model identity, loss,
+    labels, ...); together with the input shape and dtype it addresses one
+    recording.  Unsupported graphs are remembered and always executed eagerly.
+    """
+
+    name = "captured"
+
+    def __init__(self, max_recordings: int = 8):
+        self.max_recordings = max(int(max_recordings), 1)
+        self._recordings: OrderedDict[Hashable, GraphRecording] = OrderedDict()
+        self._seen: set[Hashable] = set()
+        self._unsupported: set[Hashable] = set()
+        self.stats = CaptureStats()
+
+    def run(self, trace: Trace, inputs: np.ndarray, key: Hashable = None) -> TraceHandles:
+        inputs = np.asarray(inputs)
+        full_key = (key, inputs.shape, inputs.dtype.str)
+        if full_key in self._unsupported:
+            self.stats.fallbacks += 1
+            return EagerExecution().run(trace, inputs)
+        recording = self._recordings.get(full_key)
+        if recording is not None:
+            self._recordings.move_to_end(full_key)
+            self.stats.replays += 1
+            return recording.replay(inputs)
+        handles = trace(inputs)
+        handles.objective.backward()
+        if full_key not in self._seen:
+            # Record lazily, on the second query with the same key: one-shot
+            # graphs (FGSM, trailing partial batches) never pay for a
+            # recording nobody will replay.
+            self._seen.add(full_key)
+            return handles
+        try:
+            recording = GraphRecording(handles)
+        except GraphCaptureError as error:
+            _LOGGER.info("captured backend falling back to eager: %s", error)
+            self._unsupported.add(full_key)
+            self.stats.fallbacks += 1
+            return handles
+        self._recordings[full_key] = recording
+        self.stats.records += 1
+        while len(self._recordings) > self.max_recordings:
+            self._recordings.popitem(last=False)
+        return handles
+
+
+def resolve_execution_backend(spec) -> EagerExecution | CapturedExecution:
+    """Coerce a backend name or instance into an execution backend."""
+    if spec is None or spec == "eager":
+        return EagerExecution()
+    if spec == "captured":
+        return CapturedExecution()
+    if hasattr(spec, "run") and hasattr(spec, "name"):
+        return spec
+    raise ValueError(
+        f"unknown execution backend {spec!r}; expected one of {EXECUTION_BACKENDS} "
+        "or an object with a .run(trace, inputs, key) method"
+    )

@@ -53,6 +53,30 @@ class no_grad:
         _STATE.grad_enabled = self._previous
 
 
+class frozen_parameters:
+    """Temporarily clear ``requires_grad`` on a set of tensors.
+
+    Attack-side gradient queries only read the gradient with respect to the
+    *input*; freezing the model parameters lets the backward closures skip
+    the (equally expensive) parameter-gradient computations.  The input
+    gradient is unaffected — the parameter-gradient terms never feed it.
+    """
+
+    def __init__(self, tensors) -> None:
+        self._tensors = list(tensors)
+        self._previous: list[bool] = []
+
+    def __enter__(self) -> "frozen_parameters":
+        self._previous = [tensor.requires_grad for tensor in self._tensors]
+        for tensor in self._tensors:
+            tensor.requires_grad = False
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for tensor, previous in zip(self._tensors, self._previous):
+            tensor.requires_grad = previous
+
+
 class ShieldRegion:
     """Collects every tensor created while a shield scope is active.
 

@@ -77,15 +77,30 @@ def conv2d(
     data = out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
     parents = (x, weight) if bias is None else (x, weight, bias)
 
+    def forward_fn() -> np.ndarray:
+        # Refresh the captured ``col`` buffer in place: the backward closure
+        # reads it when accumulating the weight gradient.
+        new_col, _, _ = im2col(x.data, kh, kw, stride, padding)
+        np.copyto(col, new_col)
+        out = col @ weight_matrix.T
+        if bias is not None:
+            out = out + bias.data.reshape(1, c_out)
+        return out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
+
     def backward_fn(grad: np.ndarray) -> None:
         grad_matrix = grad.transpose(0, 2, 3, 1).reshape(-1, c_out)
-        if bias is not None:
+        # The weight gradient is a full (C_out, C·kh·kw) matmul; skip it (and
+        # the bias reduction) when the parameters are frozen, as during
+        # attack-side input-gradient queries.
+        if bias is not None and bias.requires_grad:
             bias._accumulate(grad_matrix.sum(axis=0).reshape(bias.shape))
-        weight._accumulate((grad_matrix.T @ col).reshape(weight.shape))
-        grad_col = grad_matrix @ weight_matrix
-        x._accumulate(col2im(grad_col, x.shape, kh, kw, stride, padding))
+        if weight.requires_grad:
+            weight._accumulate((grad_matrix.T @ col).reshape(weight.shape))
+        if x.requires_grad:
+            grad_col = grad_matrix @ weight_matrix
+            x._accumulate(col2im(grad_col, x.shape, kh, kw, stride, padding))
 
-    return Tensor._make(data, parents, "conv2d", backward_fn)
+    return Tensor._make(data, parents, "conv2d", backward_fn, forward_fn)
 
 
 def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
@@ -97,6 +112,14 @@ def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     argmax = col.argmax(axis=2)
     data = col.max(axis=2).reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
 
+    def forward_fn() -> np.ndarray:
+        new_col, _, _ = im2col(x.data, kernel, kernel, stride, 0)
+        new_col = new_col.reshape(-1, c, kernel * kernel)
+        # The backward closure routes gradients through ``argmax``; refresh it
+        # in place to match the replayed forward pass.
+        np.copyto(argmax, new_col.argmax(axis=2))
+        return new_col.max(axis=2).reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+
     def backward_fn(grad: np.ndarray) -> None:
         grad_flat = grad.transpose(0, 2, 3, 1).reshape(-1, c)
         grad_col = np.zeros((grad_flat.shape[0], c, kernel * kernel), dtype=grad.dtype)
@@ -106,7 +129,7 @@ def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
         grad_col = grad_col.reshape(grad_flat.shape[0], c * kernel * kernel)
         x._accumulate(col2im(grad_col, x.shape, kernel, kernel, stride, 0))
 
-    return Tensor._make(data, (x,), "max_pool2d", backward_fn)
+    return Tensor._make(data, (x,), "max_pool2d", backward_fn, forward_fn)
 
 
 def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
@@ -117,13 +140,18 @@ def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     col = col.reshape(-1, c, kernel * kernel)
     data = col.mean(axis=2).reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
 
+    def forward_fn() -> np.ndarray:
+        new_col, _, _ = im2col(x.data, kernel, kernel, stride, 0)
+        new_col = new_col.reshape(-1, c, kernel * kernel)
+        return new_col.mean(axis=2).reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+
     def backward_fn(grad: np.ndarray) -> None:
         grad_flat = grad.transpose(0, 2, 3, 1).reshape(-1, c)
         grad_col = np.repeat(grad_flat[:, :, None], kernel * kernel, axis=2) / (kernel * kernel)
         grad_col = grad_col.reshape(grad_flat.shape[0], c * kernel * kernel)
         x._accumulate(col2im(grad_col, x.shape, kernel, kernel, stride, 0))
 
-    return Tensor._make(data, (x,), "avg_pool2d", backward_fn)
+    return Tensor._make(data, (x,), "avg_pool2d", backward_fn, forward_fn)
 
 
 def global_avg_pool2d(x: Tensor) -> Tensor:

@@ -15,22 +15,29 @@ _SQRT_2_OVER_PI = float(np.sqrt(2.0 / np.pi))
 
 def relu(x: Tensor) -> Tensor:
     """Rectified linear unit."""
-    data = np.maximum(x.data, 0.0)
+
+    def forward_fn() -> np.ndarray:
+        return np.maximum(x.data, 0.0)
 
     def backward_fn(grad: np.ndarray) -> None:
         x._accumulate(grad * (x.data > 0.0))
 
-    return Tensor._make(data, (x,), "relu", backward_fn)
+    return Tensor._make(forward_fn(), (x,), "relu", backward_fn, forward_fn)
 
 
 def sigmoid(x: Tensor) -> Tensor:
     """Logistic sigmoid."""
+    # ``data`` is the tensor's own buffer; captured-graph replay refreshes it
+    # in place, so the backward closure always reads the current value.
     data = 1.0 / (1.0 + np.exp(-x.data))
+
+    def forward_fn() -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-x.data))
 
     def backward_fn(grad: np.ndarray) -> None:
         x._accumulate(grad * data * (1.0 - data))
 
-    return Tensor._make(data, (x,), "sigmoid", backward_fn)
+    return Tensor._make(data, (x,), "sigmoid", backward_fn, forward_fn)
 
 
 def gelu(x: Tensor) -> Tensor:
@@ -39,13 +46,19 @@ def gelu(x: Tensor) -> Tensor:
     t = np.tanh(u)
     data = 0.5 * x.data * (1.0 + t)
 
+    def forward_fn() -> np.ndarray:
+        # Refresh the captured ``t`` in place so the backward closure stays
+        # consistent with the replayed forward pass.
+        np.copyto(t, np.tanh(_SQRT_2_OVER_PI * (x.data + 0.044715 * x.data**3)))
+        return 0.5 * x.data * (1.0 + t)
+
     def backward_fn(grad: np.ndarray) -> None:
         du_dx = _SQRT_2_OVER_PI * (1.0 + 3.0 * 0.044715 * x.data**2)
         dt_dx = (1.0 - t**2) * du_dx
         local = 0.5 * (1.0 + t) + 0.5 * x.data * dt_dx
         x._accumulate(grad * local)
 
-    return Tensor._make(data, (x,), "gelu", backward_fn)
+    return Tensor._make(data, (x,), "gelu", backward_fn, forward_fn)
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -54,11 +67,16 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
     exps = np.exp(shifted)
     data = exps / exps.sum(axis=axis, keepdims=True)
 
+    def forward_fn() -> np.ndarray:
+        shifted = x.data - x.data.max(axis=axis, keepdims=True)
+        exps = np.exp(shifted)
+        return exps / exps.sum(axis=axis, keepdims=True)
+
     def backward_fn(grad: np.ndarray) -> None:
         dot = (grad * data).sum(axis=axis, keepdims=True)
         x._accumulate(data * (grad - dot))
 
-    return Tensor._make(data, (x,), "softmax", backward_fn)
+    return Tensor._make(data, (x,), "softmax", backward_fn, forward_fn)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -68,10 +86,17 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     data = shifted - log_norm
     probs = np.exp(data)
 
+    def forward_fn() -> np.ndarray:
+        shifted = x.data - x.data.max(axis=axis, keepdims=True)
+        log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        new_data = shifted - log_norm
+        np.copyto(probs, np.exp(new_data))
+        return new_data
+
     def backward_fn(grad: np.ndarray) -> None:
         x._accumulate(grad - probs * grad.sum(axis=axis, keepdims=True))
 
-    return Tensor._make(data, (x,), "log_softmax", backward_fn)
+    return Tensor._make(data, (x,), "log_softmax", backward_fn, forward_fn)
 
 
 def nll_loss(log_probs: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
@@ -82,18 +107,22 @@ def nll_loss(log_probs: Tensor, targets: np.ndarray, reduction: str = "mean") ->
     """
     targets = np.asarray(targets, dtype=np.int64)
     batch = log_probs.shape[0]
-    picked = log_probs.data[np.arange(batch), targets]
     if reduction == "mean":
-        value = -picked.mean()
         scale = 1.0 / batch
     elif reduction == "sum":
-        value = -picked.sum()
         scale = 1.0
     elif reduction == "none":
-        value = -picked
         scale = None
     else:
         raise ValueError(f"unknown reduction {reduction!r}")
+
+    def forward_fn() -> np.ndarray:
+        picked = log_probs.data[np.arange(batch), targets]
+        if reduction == "mean":
+            return np.asarray(-picked.mean())
+        if reduction == "sum":
+            return np.asarray(-picked.sum())
+        return -picked
 
     def backward_fn(grad: np.ndarray) -> None:
         full = np.zeros_like(log_probs.data)
@@ -103,7 +132,7 @@ def nll_loss(log_probs: Tensor, targets: np.ndarray, reduction: str = "mean") ->
             full[np.arange(batch), targets] = -float(np.asarray(grad).reshape(-1)[0]) * scale
         log_probs._accumulate(full)
 
-    return Tensor._make(np.asarray(value), (log_probs,), "nll_loss", backward_fn)
+    return Tensor._make(forward_fn(), (log_probs,), "nll_loss", backward_fn, forward_fn)
 
 
 def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
@@ -131,6 +160,18 @@ def margin_loss(logits: Tensor, targets: np.ndarray, confidence: float = 0.0) ->
     active = per_sample > -confidence
     value = np.where(active, per_sample, -confidence).sum()
 
+    def forward_fn() -> np.ndarray:
+        # Refresh the captured ``best_other`` / ``active`` index arrays in
+        # place so the backward closure matches the replayed forward pass.
+        target_logits = logits.data[rows, targets]
+        masked = logits.data.copy()
+        masked[rows, targets] = -np.inf
+        np.copyto(best_other, masked.argmax(axis=1))
+        other_logits = logits.data[rows, best_other]
+        per_sample = other_logits - target_logits
+        np.copyto(active, per_sample > -confidence)
+        return np.asarray(np.where(active, per_sample, -confidence).sum())
+
     def backward_fn(grad: np.ndarray) -> None:
         g = float(np.asarray(grad).reshape(-1)[0])
         full = np.zeros_like(logits.data)
@@ -138,7 +179,7 @@ def margin_loss(logits: Tensor, targets: np.ndarray, confidence: float = 0.0) ->
         full[rows[active], targets[active]] -= g
         logits._accumulate(full)
 
-    return Tensor._make(np.asarray(value), (logits,), "margin_loss", backward_fn)
+    return Tensor._make(np.asarray(value), (logits,), "margin_loss", backward_fn, forward_fn)
 
 
 def mse_loss(prediction: Tensor, target: np.ndarray | Tensor, reduction: str = "mean") -> Tensor:
@@ -165,4 +206,6 @@ def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool = T
     def backward_fn(grad: np.ndarray) -> None:
         x._accumulate(grad * mask)
 
+    # No forward_fn: the mask is redrawn per call, so a training-mode dropout
+    # graph cannot be replayed (the captured backend falls back to eager).
     return Tensor._make(x.data * mask, (x,), "dropout", backward_fn)

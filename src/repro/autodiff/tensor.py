@@ -140,6 +140,12 @@ class Tensor:
         self.is_parameter = is_parameter
         self.node_id = next(_NODE_COUNTER)
         self.backward_fn: Callable[[np.ndarray], None] | None = None
+        #: Recomputes this node's output from its parents' current ``data``
+        #: (refreshing any record-time buffers the backward closure captured).
+        #: Consumed by :mod:`repro.autodiff.capture` to replay a recorded
+        #: graph without rebuilding it; ``None`` on leaves and on ops that
+        #: cannot be replayed (e.g. training-mode dropout).
+        self.forward_fn: Callable[[], np.ndarray] | None = None
         region = active_shield_region()
         self.shielded = region is not None
         if region is not None:
@@ -203,12 +209,14 @@ class Tensor:
         parents: Sequence["Tensor"],
         op: str,
         backward_fn: Callable[[np.ndarray], None] | None,
+        forward_fn: Callable[[], np.ndarray] | None = None,
     ) -> "Tensor":
         """Create an op-output tensor, wiring gradients only when needed."""
         requires_grad = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires_grad, parents=parents, op=op)
         if requires_grad:
             out.backward_fn = backward_fn
+        out.forward_fn = forward_fn
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -248,26 +256,34 @@ class Tensor:
     # ------------------------------------------------------------------ #
     def __add__(self, other) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
-        data = self.data + other.data
+
+        def forward_fn() -> np.ndarray:
+            return self.data + other.data
 
         def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(unbroadcast(grad, self.shape))
-            other._accumulate(unbroadcast(grad, other.shape))
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(unbroadcast(grad, other.shape))
 
-        return Tensor._make(data, (self, other), "add", backward_fn)
+        return Tensor._make(forward_fn(), (self, other), "add", backward_fn, forward_fn)
 
     def __radd__(self, other) -> "Tensor":
         return self.__add__(other)
 
     def __sub__(self, other) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
-        data = self.data - other.data
+
+        def forward_fn() -> np.ndarray:
+            return self.data - other.data
 
         def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(unbroadcast(grad, self.shape))
-            other._accumulate(unbroadcast(-grad, other.shape))
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(unbroadcast(-grad, other.shape))
 
-        return Tensor._make(data, (self, other), "sub", backward_fn)
+        return Tensor._make(forward_fn(), (self, other), "sub", backward_fn, forward_fn)
 
     def __rsub__(self, other) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
@@ -275,134 +291,169 @@ class Tensor:
 
     def __mul__(self, other) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
-        data = self.data * other.data
+
+        def forward_fn() -> np.ndarray:
+            return self.data * other.data
 
         def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(unbroadcast(grad * other.data, self.shape))
-            other._accumulate(unbroadcast(grad * self.data, other.shape))
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(unbroadcast(grad * self.data, other.shape))
 
-        return Tensor._make(data, (self, other), "mul", backward_fn)
+        return Tensor._make(forward_fn(), (self, other), "mul", backward_fn, forward_fn)
 
     def __rmul__(self, other) -> "Tensor":
         return self.__mul__(other)
 
     def __truediv__(self, other) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
-        data = self.data / other.data
+
+        def forward_fn() -> np.ndarray:
+            return self.data / other.data
 
         def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(unbroadcast(grad / other.data, self.shape))
-            other._accumulate(
-                unbroadcast(-grad * self.data / (other.data**2), other.shape)
-            )
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    unbroadcast(-grad * self.data / (other.data**2), other.shape)
+                )
 
-        return Tensor._make(data, (self, other), "div", backward_fn)
+        return Tensor._make(forward_fn(), (self, other), "div", backward_fn, forward_fn)
 
     def __rtruediv__(self, other) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
         return other.__truediv__(self)
 
     def __neg__(self) -> "Tensor":
-        data = -self.data
+        def forward_fn() -> np.ndarray:
+            return -self.data
 
         def backward_fn(grad: np.ndarray) -> None:
             self._accumulate(-grad)
 
-        return Tensor._make(data, (self,), "neg", backward_fn)
+        return Tensor._make(forward_fn(), (self,), "neg", backward_fn, forward_fn)
 
     def __pow__(self, exponent: float) -> "Tensor":
         if isinstance(exponent, Tensor):
             raise TypeError("tensor exponents are not supported; use a Python scalar")
         power = float(exponent)
-        data = self.data**power
+
+        def forward_fn() -> np.ndarray:
+            return self.data**power
 
         def backward_fn(grad: np.ndarray) -> None:
             self._accumulate(grad * power * self.data ** (power - 1.0))
 
-        return Tensor._make(data, (self,), "pow", backward_fn)
+        return Tensor._make(forward_fn(), (self,), "pow", backward_fn, forward_fn)
 
     def __matmul__(self, other) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
         if self.ndim < 2 or other.ndim < 2:
             raise ValueError("matmul requires operands with at least 2 dimensions")
-        data = np.matmul(self.data, other.data)
+
+        def forward_fn() -> np.ndarray:
+            return np.matmul(self.data, other.data)
 
         def backward_fn(grad: np.ndarray) -> None:
-            grad_self = np.matmul(grad, np.swapaxes(other.data, -1, -2))
-            grad_other = np.matmul(np.swapaxes(self.data, -1, -2), grad)
-            self._accumulate(unbroadcast(grad_self, self.shape))
-            other._accumulate(unbroadcast(grad_other, other.shape))
+            # Each operand's gradient is a full matmul; skip the ones nobody
+            # will read (e.g. frozen parameters during attack queries).
+            if self.requires_grad:
+                grad_self = np.matmul(grad, np.swapaxes(other.data, -1, -2))
+                self._accumulate(unbroadcast(grad_self, self.shape))
+            if other.requires_grad:
+                grad_other = np.matmul(np.swapaxes(self.data, -1, -2), grad)
+                other._accumulate(unbroadcast(grad_other, other.shape))
 
-        return Tensor._make(data, (self, other), "matmul", backward_fn)
+        return Tensor._make(forward_fn(), (self, other), "matmul", backward_fn, forward_fn)
 
     # ------------------------------------------------------------------ #
     # Elementwise unary operations
     # ------------------------------------------------------------------ #
     def exp(self) -> "Tensor":
+        # ``data`` is the tensor's own buffer: replay refreshes it in place,
+        # so the backward closure always reads the current forward value.
         data = np.exp(self.data)
+
+        def forward_fn() -> np.ndarray:
+            return np.exp(self.data)
 
         def backward_fn(grad: np.ndarray) -> None:
             self._accumulate(grad * data)
 
-        return Tensor._make(data, (self,), "exp", backward_fn)
+        return Tensor._make(data, (self,), "exp", backward_fn, forward_fn)
 
     def log(self) -> "Tensor":
-        data = np.log(self.data)
+        def forward_fn() -> np.ndarray:
+            return np.log(self.data)
 
         def backward_fn(grad: np.ndarray) -> None:
             self._accumulate(grad / self.data)
 
-        return Tensor._make(data, (self,), "log", backward_fn)
+        return Tensor._make(forward_fn(), (self,), "log", backward_fn, forward_fn)
 
     def sqrt(self) -> "Tensor":
         data = np.sqrt(self.data)
 
+        def forward_fn() -> np.ndarray:
+            return np.sqrt(self.data)
+
         def backward_fn(grad: np.ndarray) -> None:
             self._accumulate(grad * 0.5 / np.maximum(data, 1e-12))
 
-        return Tensor._make(data, (self,), "sqrt", backward_fn)
+        return Tensor._make(data, (self,), "sqrt", backward_fn, forward_fn)
 
     def tanh(self) -> "Tensor":
         data = np.tanh(self.data)
 
+        def forward_fn() -> np.ndarray:
+            return np.tanh(self.data)
+
         def backward_fn(grad: np.ndarray) -> None:
             self._accumulate(grad * (1.0 - data**2))
 
-        return Tensor._make(data, (self,), "tanh", backward_fn)
+        return Tensor._make(data, (self,), "tanh", backward_fn, forward_fn)
 
     def abs(self) -> "Tensor":
-        data = np.abs(self.data)
+        def forward_fn() -> np.ndarray:
+            return np.abs(self.data)
 
         def backward_fn(grad: np.ndarray) -> None:
             self._accumulate(grad * np.sign(self.data))
 
-        return Tensor._make(data, (self,), "abs", backward_fn)
+        return Tensor._make(forward_fn(), (self,), "abs", backward_fn, forward_fn)
 
     def maximum(self, threshold: float) -> "Tensor":
         """Elementwise maximum with a scalar (used to build ReLU)."""
         value = float(threshold)
-        data = np.maximum(self.data, value)
+
+        def forward_fn() -> np.ndarray:
+            return np.maximum(self.data, value)
 
         def backward_fn(grad: np.ndarray) -> None:
             self._accumulate(grad * (self.data > value))
 
-        return Tensor._make(data, (self,), "maximum", backward_fn)
+        return Tensor._make(forward_fn(), (self,), "maximum", backward_fn, forward_fn)
 
     def minimum(self, threshold: float) -> "Tensor":
         """Elementwise minimum with a scalar."""
         value = float(threshold)
-        data = np.minimum(self.data, value)
+
+        def forward_fn() -> np.ndarray:
+            return np.minimum(self.data, value)
 
         def backward_fn(grad: np.ndarray) -> None:
             self._accumulate(grad * (self.data < value))
 
-        return Tensor._make(data, (self,), "minimum", backward_fn)
+        return Tensor._make(forward_fn(), (self,), "minimum", backward_fn, forward_fn)
 
     # ------------------------------------------------------------------ #
     # Reductions
     # ------------------------------------------------------------------ #
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        data = self.data.sum(axis=axis, keepdims=keepdims)
+        def forward_fn() -> np.ndarray:
+            return self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward_fn(grad: np.ndarray) -> None:
             expanded = grad
@@ -410,10 +461,12 @@ class Tensor:
                 expanded = np.expand_dims(grad, axis)
             self._accumulate(np.broadcast_to(expanded, self.shape).copy())
 
-        return Tensor._make(data, (self,), "sum", backward_fn)
+        return Tensor._make(forward_fn(), (self,), "sum", backward_fn, forward_fn)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
-        data = self.data.mean(axis=axis, keepdims=keepdims)
+        def forward_fn() -> np.ndarray:
+            return self.data.mean(axis=axis, keepdims=keepdims)
+
         if axis is None:
             count = self.data.size
         else:
@@ -426,10 +479,13 @@ class Tensor:
                 expanded = np.expand_dims(grad, axis)
             self._accumulate(np.broadcast_to(expanded, self.shape).copy() / count)
 
-        return Tensor._make(data, (self,), "mean", backward_fn)
+        return Tensor._make(forward_fn(), (self,), "mean", backward_fn, forward_fn)
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def forward_fn() -> np.ndarray:
+            return self.data.max(axis=axis, keepdims=keepdims)
 
         def backward_fn(grad: np.ndarray) -> None:
             expanded_grad = grad
@@ -441,7 +497,7 @@ class Tensor:
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
             self._accumulate(mask * expanded_grad / counts)
 
-        return Tensor._make(data, (self,), "max", backward_fn)
+        return Tensor._make(data, (self,), "max", backward_fn, forward_fn)
 
     # ------------------------------------------------------------------ #
     # Shape operations
@@ -449,22 +505,26 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        data = self.data.reshape(shape)
+
+        def forward_fn() -> np.ndarray:
+            return self.data.reshape(shape)
 
         def backward_fn(grad: np.ndarray) -> None:
             self._accumulate(grad.reshape(self.shape))
 
-        return Tensor._make(data, (self,), "reshape", backward_fn)
+        return Tensor._make(forward_fn(), (self,), "reshape", backward_fn, forward_fn)
 
     def transpose(self, axes: Sequence[int]) -> "Tensor":
         axes = tuple(axes)
-        data = self.data.transpose(axes)
         inverse = tuple(np.argsort(axes))
+
+        def forward_fn() -> np.ndarray:
+            return self.data.transpose(axes)
 
         def backward_fn(grad: np.ndarray) -> None:
             self._accumulate(grad.transpose(inverse))
 
-        return Tensor._make(data, (self,), "transpose", backward_fn)
+        return Tensor._make(forward_fn(), (self,), "transpose", backward_fn, forward_fn)
 
     def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
         axes = list(range(self.ndim))
@@ -472,35 +532,40 @@ class Tensor:
         return self.transpose(axes)
 
     def __getitem__(self, index) -> "Tensor":
-        data = self.data[index]
+        def forward_fn() -> np.ndarray:
+            return self.data[index]
 
         def backward_fn(grad: np.ndarray) -> None:
             full = np.zeros_like(self.data)
             np.add.at(full, index, grad)
             self._accumulate(full)
 
-        return Tensor._make(data, (self,), "getitem", backward_fn)
+        return Tensor._make(forward_fn(), (self,), "getitem", backward_fn, forward_fn)
 
     def pad(self, pad_width: Sequence[tuple[int, int]]) -> "Tensor":
         """Zero-pad the tensor; ``pad_width`` follows :func:`numpy.pad`."""
         pad_width = tuple((int(a), int(b)) for a, b in pad_width)
-        data = np.pad(self.data, pad_width)
         slices = tuple(
             slice(before, before + dim) for (before, _), dim in zip(pad_width, self.shape)
         )
 
+        def forward_fn() -> np.ndarray:
+            return np.pad(self.data, pad_width)
+
         def backward_fn(grad: np.ndarray) -> None:
             self._accumulate(grad[slices])
 
-        return Tensor._make(data, (self,), "pad", backward_fn)
+        return Tensor._make(forward_fn(), (self,), "pad", backward_fn, forward_fn)
 
 
 def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient support."""
     tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
-    data = np.concatenate([t.data for t in tensors], axis=axis)
     sizes = [t.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
+
+    def forward_fn() -> np.ndarray:
+        return np.concatenate([t.data for t in tensors], axis=axis)
 
     def backward_fn(grad: np.ndarray) -> None:
         for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
@@ -508,20 +573,22 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
             slicer[axis] = slice(int(start), int(stop))
             tensor._accumulate(grad[tuple(slicer)])
 
-    return Tensor._make(data, tuple(tensors), "concat", backward_fn)
+    return Tensor._make(forward_fn(), tuple(tensors), "concat", backward_fn, forward_fn)
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new axis with gradient support."""
     tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
-    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def forward_fn() -> np.ndarray:
+        return np.stack([t.data for t in tensors], axis=axis)
 
     def backward_fn(grad: np.ndarray) -> None:
         pieces = np.split(grad, len(tensors), axis=axis)
         for tensor, piece in zip(tensors, pieces):
             tensor._accumulate(np.squeeze(piece, axis=axis))
 
-    return Tensor._make(data, tuple(tensors), "stack", backward_fn)
+    return Tensor._make(forward_fn(), tuple(tensors), "stack", backward_fn, forward_fn)
 
 
 def topological_order(root: Tensor) -> list[Tensor]:

@@ -15,6 +15,12 @@ one of these views:
 Both views expose the same interface, so every attack in
 :mod:`repro.attacks` runs unchanged in the shielded and non-shielded
 settings — exactly how the paper evaluates PELTA.
+
+Both views also share a pluggable *execution backend*
+(:mod:`repro.autodiff.capture`): ``"eager"`` rebuilds the autodiff graph per
+gradient query, ``"captured"`` records it once per (objective, input shape)
+and replays it with reused buffers — bit-identical gradients, far less
+per-query Python overhead on iterative attacks.
 """
 
 from __future__ import annotations
@@ -24,7 +30,8 @@ from typing import Callable, Protocol
 import numpy as np
 
 from repro.autodiff import functional as F
-from repro.autodiff.context import no_grad
+from repro.autodiff.capture import TraceHandles, resolve_execution_backend
+from repro.autodiff.context import frozen_parameters, no_grad
 from repro.autodiff.tensor import Tensor
 from repro.core.shielded_model import ShieldedModel
 from repro.models.base import ImageClassifier
@@ -61,6 +68,28 @@ def _objective(logits: Tensor, labels: np.ndarray, loss: str, confidence: float)
     raise ValueError(f"unknown attack loss {loss!r}")
 
 
+def _replay_rebinds(model) -> list[tuple[object, str, object]]:
+    """Side-channel attributes a captured replay must re-point at its graph.
+
+    Collected right after the record-time forward pass: the shielded model's
+    frontier tensors and every attention module's ``last_attention_weights``
+    are attributes the forward pass rebinds, so a replay (which runs no layer
+    code) restores them to the recorded objects whose buffers it refreshed.
+    """
+    rebinds: list[tuple[object, str, object]] = []
+    if isinstance(model, ShieldedModel):
+        rebinds.append((model, "last_frontier", model.last_frontier))
+        rebinds.append((model, "last_input", model.last_input))
+        base = model.model
+    else:
+        base = model
+    for module in base.modules():
+        weights = getattr(module, "last_attention_weights", None)
+        if weights is not None:
+            rebinds.append((module, "last_attention_weights", weights))
+    return rebinds
+
+
 def _per_sample_loss(
     logits: np.ndarray, labels: np.ndarray, loss: str, confidence: float
 ) -> np.ndarray:
@@ -83,10 +112,20 @@ def _per_sample_loss(
 class FullWhiteBoxView:
     """White-box oracle over a non-shielded model: exact ∇_x L."""
 
-    def __init__(self, model: ImageClassifier | ShieldedModel):
+    def __init__(self, model: ImageClassifier | ShieldedModel, backend="eager"):
         self.model = model
         self.num_classes = model.num_classes
         self.shielded = isinstance(model, ShieldedModel)
+        self.backend = resolve_execution_backend(backend)
+        base = model.model if isinstance(model, ShieldedModel) else model
+        self._frozen = tuple(base.parameters())
+        # Identity-hashed capture-key token: unlike id(model), it is kept
+        # alive inside cached keys, so a recording can never be replayed for
+        # a different model reusing a garbage-collected model's address.
+        self._trace_token = object()
+
+    def _trace_key(self, loss: str, confidence: float, labels: np.ndarray):
+        return (self._trace_token, loss, float(confidence), labels.tobytes())
 
     def logits(self, inputs: np.ndarray) -> np.ndarray:
         """Logits of a numpy batch (no gradients recorded)."""
@@ -106,11 +145,24 @@ class FullWhiteBoxView:
         self, inputs: np.ndarray, labels: np.ndarray, loss: str = "ce", confidence: float = 0.0
     ) -> np.ndarray:
         """Exact gradient of the attack objective with respect to the input."""
-        input_tensor = Tensor(np.asarray(inputs), requires_grad=True, is_input=True, name="input")
-        logits = self.model(input_tensor)
-        objective = _objective(logits, np.asarray(labels), loss, confidence)
-        objective.backward()
-        return np.array(input_tensor.grad)
+        labels = np.asarray(labels, dtype=np.int64)
+
+        def trace(array: np.ndarray) -> TraceHandles:
+            input_tensor = Tensor(array, requires_grad=True, is_input=True, name="input")
+            logits = self.model(input_tensor)
+            objective = _objective(logits, labels, loss, confidence)
+            return TraceHandles(
+                objective=objective, input=input_tensor, rebinds=_replay_rebinds(self.model)
+            )
+
+        # Freeze parameters across record *and* replay: the backward closures
+        # read ``requires_grad`` at call time and skip parameter gradients,
+        # which input-gradient queries never need.
+        with frozen_parameters(self._frozen):
+            handles = self.backend.run(
+                trace, np.asarray(inputs), key=self._trace_key(loss, confidence, labels)
+            )
+        return np.array(handles.input.grad)
 
     def attention_maps(self) -> list[np.ndarray]:
         """Attention maps of the last forward pass (empty for CNNs)."""
@@ -127,13 +179,20 @@ class RestrictedWhiteBoxView:
     never the true gradient.
     """
 
-    def __init__(self, model: ShieldedModel, upsampler: Upsampler):
+    def __init__(self, model: ShieldedModel, upsampler: Upsampler, backend="eager"):
         if not isinstance(model, ShieldedModel):
             raise TypeError("RestrictedWhiteBoxView requires a ShieldedModel")
         self.model = model
         self.upsampler = upsampler
         self.num_classes = model.num_classes
         self.shielded = True
+        self.backend = resolve_execution_backend(backend)
+        self._frozen = tuple(model.model.parameters())
+        # See FullWhiteBoxView: identity token, gc-safe unlike id(model).
+        self._trace_token = object()
+
+    def _trace_key(self, loss: str, confidence: float, labels: np.ndarray):
+        return (self._trace_token, loss, float(confidence), labels.tobytes())
 
     def logits(self, inputs: np.ndarray) -> np.ndarray:
         """Logits of a numpy batch (clear: the model output is public)."""
@@ -158,10 +217,18 @@ class RestrictedWhiteBoxView:
         PELTA: the gradient of the objective with respect to the stem output.
         """
         inputs = np.asarray(inputs)
-        input_tensor = Tensor(inputs, requires_grad=True, is_input=True, name="input")
-        logits = self.model(input_tensor)
-        objective = _objective(logits, np.asarray(labels), loss, confidence)
-        objective.backward()
+        labels = np.asarray(labels, dtype=np.int64)
+
+        def trace(array: np.ndarray) -> TraceHandles:
+            input_tensor = Tensor(array, requires_grad=True, is_input=True, name="input")
+            logits = self.model(input_tensor)
+            objective = _objective(logits, labels, loss, confidence)
+            return TraceHandles(
+                objective=objective, input=input_tensor, rebinds=_replay_rebinds(self.model)
+            )
+
+        with frozen_parameters(self._frozen):
+            self.backend.run(trace, inputs, key=self._trace_key(loss, confidence, labels))
         frontier = self.model.last_frontier
         if frontier is None or frontier.grad is None:
             raise RuntimeError("no frontier adjoint was produced by the backward pass")
@@ -185,14 +252,19 @@ class RestrictedWhiteBoxView:
         return self.model.attention_maps()
 
 
-def make_view(model: ImageClassifier | ShieldedModel, upsampler: Upsampler | None = None):
+def make_view(
+    model: ImageClassifier | ShieldedModel,
+    upsampler: Upsampler | None = None,
+    backend="eager",
+):
     """Build the appropriate view for a defender.
 
     Plain models get a :class:`FullWhiteBoxView`; shielded models get a
     :class:`RestrictedWhiteBoxView` and therefore require an ``upsampler``.
+    ``backend`` selects the gradient execution mode (``"eager"``/``"captured"``).
     """
     if isinstance(model, ShieldedModel):
         if upsampler is None:
             raise ValueError("a shielded model requires an upsampler for the attacker view")
-        return RestrictedWhiteBoxView(model, upsampler)
-    return FullWhiteBoxView(model)
+        return RestrictedWhiteBoxView(model, upsampler, backend=backend)
+    return FullWhiteBoxView(model, backend=backend)

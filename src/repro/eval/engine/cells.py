@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.attacks.bpda import make_attacker_view
 from repro.attacks.configs import AttackSuiteConfig, build_attack_suite, build_saga
+from repro.attacks.engine.driver import AttackDriver, DriverConfig
 from repro.attacks.random_noise import RandomUniform
 from repro.attacks.pgd import PGD
 from repro.core.shielded_model import ShieldedModel
@@ -59,16 +60,34 @@ def _rng_factory(seed: int) -> Callable[[str], np.random.Generator]:
     return registry.spawn
 
 
+def _payload_driver(payload: dict, callbacks=()) -> AttackDriver:
+    """Attack driver configured from a cell payload (backend + active set)."""
+    return AttackDriver(
+        DriverConfig(
+            backend=payload.get("backend", "eager"),
+            active_set=bool(payload.get("active_set", False)),
+        ),
+        callbacks=callbacks,
+    )
+
+
 def run_attack_in_batches(
-    attack, view, images: np.ndarray, labels: np.ndarray, batch_size: int
+    attack, view, images: np.ndarray, labels: np.ndarray, batch_size: int, driver=None
 ) -> np.ndarray:
-    """Run an attack over a dataset in mini-batches, returning the adversarials."""
+    """Run an attack over a dataset in mini-batches, returning the adversarials.
+
+    ``view`` may be a single gradient view or a tuple of member views (the
+    ensemble SAGA case); ``driver`` defaults to the compatibility
+    configuration (eager backend, no active-set shrinking).
+    """
     if batch_size <= 0:
         raise ValueError("batch_size must be positive")
+    if driver is None:
+        driver = AttackDriver(DriverConfig(active_set=False, backend=None))
     pieces = []
     for start in range(0, len(labels), batch_size):
         stop = start + batch_size
-        result = attack.run(view, images[start:stop], labels[start:stop])
+        result = driver.run(attack, view, images[start:stop], labels[start:stop])
         pieces.append(result.adversarials)
     if not pieces:
         return images[:0]
@@ -84,14 +103,15 @@ def run_individual_cell(payload: dict) -> dict:
     model = rebuild_model(payload["model"])
     suite = build_attack_suite(AttackSuiteConfig(**payload["suite_config"]), rng_factory=rng)
     attack = suite[payload["attack"]]
+    driver = _payload_driver(payload)
     clear_view = make_attacker_view(model)
     shielded_view = make_attacker_view(
         ShieldedModel(model), strategy=payload["strategy"], rng=rng("attacks.bpda")
     )
     images, labels = payload["images"], payload["labels"]
     batch_size = payload["batch_size"]
-    clear_adv = run_attack_in_batches(attack, clear_view, images, labels, batch_size)
-    shielded_adv = run_attack_in_batches(attack, shielded_view, images, labels, batch_size)
+    clear_adv = run_attack_in_batches(attack, clear_view, images, labels, batch_size, driver)
+    shielded_adv = run_attack_in_batches(attack, shielded_view, images, labels, batch_size, driver)
     return {
         "model_name": payload["model"]["name"],
         "attack": payload["attack"],
@@ -145,13 +165,10 @@ def run_saga_cell(payload: dict) -> dict:
     vit_view, cnn_view = _member_views(payload, vit_model, cnn_model, rng)
     images, labels = payload["images"], payload["labels"]
     batch_size = payload["batch_size"]
-    pieces = []
-    for start in range(0, len(labels), batch_size):
-        stop = start + batch_size
-        pieces.append(
-            saga.craft_against_ensemble(vit_view, cnn_view, images[start:stop], labels[start:stop])
-        )
-    adversarials = np.concatenate(pieces, axis=0) if pieces else images[:0]
+    driver = _payload_driver(payload)
+    adversarials = run_attack_in_batches(
+        saga, (vit_view, cnn_view), images, labels, batch_size, driver
+    )
     rows = _ensemble_rows(vit_model, cnn_model, adversarials, labels)
     return {"setting": payload["setting"], "robust": rows}
 
@@ -163,8 +180,8 @@ def run_noise_cell(payload: dict) -> dict:
     cnn_model = rebuild_model(payload["cnn"])
     epsilon = build_saga(AttackSuiteConfig(**payload["suite_config"])).epsilon
     attack = RandomUniform(epsilon=epsilon, rng=rng("attacks.random"))
-    noisy = attack.run(
-        make_attacker_view(vit_model), payload["images"], payload["labels"]
+    noisy = _payload_driver(payload).run(
+        attack, make_attacker_view(vit_model), payload["images"], payload["labels"]
     ).adversarials
     rows = _ensemble_rows(vit_model, cnn_model, noisy, payload["labels"])
     return {"setting": "random", "robust": rows}
@@ -185,7 +202,9 @@ def run_saga_sample_cell(payload: dict) -> dict:
     )
     vit_view, cnn_view = _member_views(payload, vit_model, cnn_model, rng)
     image, label = payload["images"], payload["labels"]
-    adversarial = saga.craft_against_ensemble(vit_view, cnn_view, image, label)
+    adversarial = _payload_driver(payload).run(
+        saga, (vit_view, cnn_view), image, label
+    ).adversarials
     perturbation = adversarial - image
     vit_prediction = int(vit_model.predict(adversarial)[0])
     cnn_prediction = int(cnn_model.predict(adversarial)[0])
@@ -217,16 +236,128 @@ def run_epsilon_cell(payload: dict) -> dict:
         rng=rng("attacks.pgd"),
     )
     images, labels = payload["images"], payload["labels"]
+    driver = _payload_driver(payload)
     clear_view = make_attacker_view(model)
     shielded_view = make_attacker_view(
         ShieldedModel(model), strategy=payload["strategy"], rng=rng("attacks.bpda")
     )
-    clear_adv = attack.run(clear_view, images, labels).adversarials
-    shielded_adv = attack.run(shielded_view, images, labels).adversarials
+    clear_adv = driver.run(attack, clear_view, images, labels).adversarials
+    shielded_adv = driver.run(attack, shielded_view, images, labels).adversarials
     return {
         "epsilon": epsilon,
         "unshielded": robust_accuracy(model.predict, clear_adv, labels),
         "shielded": robust_accuracy(model.predict, shielded_adv, labels),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Attack-engine cells: budget curve and robustness curve
+# --------------------------------------------------------------------------- #
+def _cell_view(payload: dict, model, rng):
+    """Clear or shielded attacker view, per the payload's ``setting``."""
+    if payload.get("setting") == "shielded":
+        return make_attacker_view(
+            ShieldedModel(model), strategy=payload["strategy"], rng=rng("attacks.bpda")
+        )
+    return make_attacker_view(model)
+
+
+def run_budget_curve_cell(payload: dict) -> dict:
+    """Success rate vs gradient-query budget for one driver mode.
+
+    ``payload["mode"]`` selects active-set shrinking ("active") or the full
+    fixed-budget batch ("fixed"); the driver's per-step callback records the
+    cumulative query/success curve the scenario plots.
+    """
+    rng = _rng_factory(payload["seed"])
+    model = rebuild_model(payload["model"])
+    suite = build_attack_suite(AttackSuiteConfig(**payload["suite_config"]), rng_factory=rng)
+    attack = suite[payload["attack"]]
+    view = _cell_view(payload, model, rng)
+    curve: list[dict] = []
+
+    def on_step(info) -> None:
+        curve.append(
+            {
+                "iteration": info.iteration,
+                "gradient_calls": info.gradient_calls,
+                "sample_queries": info.sample_queries,
+                "active": int(info.active_indices.size),
+                "success_rate": info.fooled / max(info.num_samples, 1),
+            }
+        )
+
+    driver = AttackDriver(
+        DriverConfig(
+            backend=payload.get("backend", "eager"),
+            active_set=payload["mode"] == "active",
+        ),
+        callbacks=[on_step],
+    )
+    result = driver.run(attack, view, payload["images"], payload["labels"])
+    curve.append(
+        {
+            "iteration": len(curve),
+            "gradient_calls": result.gradient_queries,
+            "sample_queries": result.total_sample_queries,
+            "active": 0,
+            "success_rate": result.success_rate,
+        }
+    )
+    return {
+        "mode": payload["mode"],
+        "setting": payload.get("setting", "clear"),
+        "attack": payload["attack"],
+        "curve": curve,
+        "gradient_calls": result.gradient_queries,
+        "sample_queries": result.total_sample_queries,
+        "success_rate": result.success_rate,
+    }
+
+
+#: Robustness-curve attack builders: ε-parameterised instances of the
+#: iterative suite (C&W is not ε-bounded, so it is not part of the sweep).
+_CURVE_ATTACKS = ("fgsm", "pgd", "mim", "apgd")
+
+
+def _build_curve_attack(name: str, epsilon: float, steps: int, rng):
+    from repro.attacks.apgd import APGD
+    from repro.attacks.fgsm import FGSM
+    from repro.attacks.mim import MIM
+
+    if name == "fgsm":
+        return FGSM(epsilon=epsilon)
+    if name == "pgd":
+        return PGD(epsilon=epsilon, step_size=epsilon / 8, steps=steps, rng=rng("attacks.pgd"))
+    if name == "mim":
+        return MIM(epsilon=epsilon, step_size=epsilon / 8, steps=steps)
+    if name == "apgd":
+        return APGD(epsilon=epsilon, steps=steps)
+    raise KeyError(f"unknown robustness-curve attack {name!r}; expected {_CURVE_ATTACKS}")
+
+
+def run_robustness_curve_cell(payload: dict) -> dict:
+    """Attack success vs ε at one budget point, clear and shielded."""
+    rng = _rng_factory(payload["seed"])
+    model = rebuild_model(payload["model"])
+    epsilon = float(payload["epsilon"])
+    attack = _build_curve_attack(payload["attack"], epsilon, payload["steps"], rng)
+    driver = _payload_driver(payload)
+    images, labels = payload["images"], payload["labels"]
+    clear_view = make_attacker_view(model)
+    shielded_view = make_attacker_view(
+        ShieldedModel(model), strategy=payload["strategy"], rng=rng("attacks.bpda")
+    )
+    clear = driver.run(attack, clear_view, images, labels)
+    shielded = driver.run(attack, shielded_view, images, labels)
+    return {
+        "epsilon": epsilon,
+        "attack": payload["attack"],
+        "success_unshielded": clear.success_rate,
+        "success_shielded": float(np.mean(model.predict(shielded.adversarials) != labels)),
+        "robust_unshielded": robust_accuracy(model.predict, clear.adversarials, labels),
+        "robust_shielded": robust_accuracy(model.predict, shielded.adversarials, labels),
+        "sample_queries": clear.total_sample_queries + shielded.total_sample_queries,
     }
 
 
@@ -254,7 +385,7 @@ def run_upsampling_cell(payload: dict) -> dict:
             view = make_attacker_view(
                 ShieldedModel(model), strategy=strategy, rng=rng("attacks.bpda")
             )
-    adversarials = attack.run(view, images, labels).adversarials
+    adversarials = _payload_driver(payload).run(attack, view, images, labels).adversarials
     return {
         "strategy": strategy,
         "robust_accuracy": robust_accuracy(model.predict, adversarials, labels),

@@ -31,6 +31,8 @@ SCENARIO_KINDS = (
     "epsilon_sweep",  # ablation: PGD budget sweep
     "upsampling",  # ablation: attacker upsampling substitutes
     "federated",  # fl_*: federation-runtime workloads (FedAvg, robust agg, ...)
+    "budget_curve",  # attack engine: success rate vs gradient-query budget
+    "robustness_curve",  # attack engine: success rate vs ε sweep
 )
 
 
@@ -411,6 +413,49 @@ def _fl_shielded_global(scale: str, overrides: dict[str, Any]) -> Scenario:
         client_fraction=1.0,
         num_compromised=0,
         attack="pgd",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Attack-engine scenarios (driver: active-set shrinking, backend selection)
+# --------------------------------------------------------------------------- #
+@register_scenario(
+    "attack_budget_curve",
+    "Attack engine — success rate vs gradient-query budget (active-set vs fixed)",
+)
+def _attack_budget_curve(scale: str, overrides: dict[str, Any]) -> Scenario:
+    params = {
+        "model": overrides.pop("model", "vit_b16" if scale != "tiny" else "simple_cnn"),
+        "attack": str(overrides.pop("attack", "pgd")),
+        "settings": tuple(
+            str(setting)
+            for setting in _as_tuple(overrides.pop("settings", ("clear", "shielded")))
+        ),
+    }
+    overrides.setdefault("models", (params["model"],))
+    config = scaled_experiment_config(scale, dataset="cifar10", **overrides)
+    return Scenario(
+        name="attack_budget_curve", kind="budget_curve", config=config, params=params
+    )
+
+
+@register_scenario(
+    "robustness_curve",
+    "Attack engine — attack success vs ε sweep, clear and shielded (any suite attack)",
+)
+def _robustness_curve(scale: str, overrides: dict[str, Any]) -> Scenario:
+    params = {
+        "model": overrides.pop("model", "vit_b16" if scale != "tiny" else "simple_cnn"),
+        "attack": str(overrides.pop("attack", "pgd")),
+        "epsilons": tuple(
+            float(epsilon)
+            for epsilon in _as_tuple(overrides.pop("epsilons", (0.015, 0.031, 0.062, 0.124)))
+        ),
+    }
+    overrides.setdefault("models", (params["model"],))
+    config = scaled_experiment_config(scale, dataset="cifar10", **overrides)
+    return Scenario(
+        name="robustness_curve", kind="robustness_curve", config=config, params=params
     )
 
 

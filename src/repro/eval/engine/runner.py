@@ -71,6 +71,8 @@ class ExperimentEngine:
             "epsilon_sweep": self._run_epsilon_sweep,
             "upsampling": self._run_upsampling,
             "federated": self._run_federated,
+            "budget_curve": self._run_budget_curve,
+            "robustness_curve": self._run_robustness_curve,
         }[scenario.kind]
         _LOGGER.info("running scenario %s (%s)", scenario.name, scenario.kind)
         start = time.perf_counter()
@@ -100,6 +102,14 @@ class ExperimentEngine:
     # ------------------------------------------------------------------ #
     def _cell_seed(self, scenario: Scenario, *parts) -> int:
         return derive_seed("engine." + ".".join([scenario.name, *map(str, parts)]))
+
+    @staticmethod
+    def _attack_execution(config) -> dict:
+        """Driver-facing payload fields shared by every attack cell."""
+        return {
+            "backend": config.attack_backend,
+            "active_set": config.attack_active_set,
+        }
 
     def _eval_set(self, scenario: Scenario, predict_fn, max_samples: int):
         from repro.eval.astuteness import select_correctly_classified
@@ -144,6 +154,7 @@ class ExperimentEngine:
                         "labels": labels,
                         "batch_size": config.attack_batch_size,
                         "strategy": config.upsampling_strategy,
+                        **self._attack_execution(config),
                     }
                 )
         for cell in self.executor.map(cells.run_individual_cell, payloads):
@@ -194,6 +205,7 @@ class ExperimentEngine:
             "labels": labels,
             "batch_size": config.attack_batch_size,
             "strategy": config.upsampling_strategy,
+            **self._attack_execution(config),
         }
 
     def _run_ensemble(self, scenario: Scenario):
@@ -302,10 +314,74 @@ class ExperimentEngine:
                 "strategy": config.upsampling_strategy,
                 "images": images,
                 "labels": labels,
+                **self._attack_execution(config),
             }
             for epsilon in scenario.params["epsilons"]
         ]
         rows = self.executor.map(cells.run_epsilon_cell, payloads)
+        return sorted(rows, key=lambda row: row["epsilon"])
+
+    # ------------------------------------------------------------------ #
+    # Attack-engine scenarios
+    # ------------------------------------------------------------------ #
+    def _run_budget_curve(self, scenario: Scenario):
+        config = scenario.config
+        model_name, spec, images, labels = self._single_model_eval(scenario)
+        attack = scenario.params.get("attack", "pgd")
+        payloads = [
+            {
+                "seed": self._cell_seed(scenario, model_name, setting, mode),
+                "model": spec,
+                "attack": attack,
+                "suite_config": asdict(config.attack_suite_config()),
+                "setting": setting,
+                "mode": mode,
+                "strategy": config.upsampling_strategy,
+                "backend": config.attack_backend,
+                "images": images,
+                "labels": labels,
+            }
+            for setting in scenario.params.get("settings", ("clear",))
+            for mode in ("fixed", "active")
+        ]
+        results: dict[str, dict] = {}
+        for cell in self.executor.map(cells.run_budget_curve_cell, payloads):
+            results.setdefault(cell["setting"], {})[cell["mode"]] = {
+                key: cell[key]
+                for key in ("curve", "gradient_calls", "sample_queries", "success_rate")
+            }
+            _LOGGER.info(
+                "budget curve %s/%s: %d sample queries, success=%.3f",
+                cell["setting"],
+                cell["mode"],
+                cell["sample_queries"],
+                cell["success_rate"],
+            )
+        for setting, modes in results.items():
+            fixed = modes.get("fixed", {}).get("sample_queries", 0)
+            active = modes.get("active", {}).get("sample_queries", 0)
+            modes["query_reduction"] = 1.0 - active / fixed if fixed else 0.0
+        return {"attack": attack, "settings": results}
+
+    def _run_robustness_curve(self, scenario: Scenario):
+        config = scenario.config
+        model_name, spec, images, labels = self._single_model_eval(scenario)
+        attack = scenario.params.get("attack", "pgd")
+        payloads = [
+            {
+                "seed": self._cell_seed(scenario, model_name, attack, epsilon),
+                "model": spec,
+                "attack": attack,
+                "epsilon": float(epsilon),
+                "steps": config.max_attack_steps,
+                "strategy": config.upsampling_strategy,
+                "images": images,
+                "labels": labels,
+                **self._attack_execution(config),
+            }
+            for epsilon in scenario.params["epsilons"]
+        ]
+        rows = self.executor.map(cells.run_robustness_curve_cell, payloads)
         return sorted(rows, key=lambda row: row["epsilon"])
 
     # ------------------------------------------------------------------ #
@@ -331,6 +407,7 @@ class ExperimentEngine:
                 "steps": config.max_attack_steps,
                 "images": images,
                 "labels": labels,
+                **self._attack_execution(config),
             }
             for strategy in strategies
         ]

@@ -266,7 +266,49 @@ def render_run(record) -> str:
         return format_upsampling_ablation(results)
     if kind == "federated":
         return format_federated(results)
+    if kind == "budget_curve":
+        return format_budget_curve(results)
+    if kind == "robustness_curve":
+        return format_robustness_curve(results)
     raise ValueError(f"cannot render unknown scenario kind {kind!r}")
+
+
+def format_budget_curve(results) -> str:
+    """Render the attack_budget_curve payload: queries vs success per mode."""
+    lines = [f"Attack budget curve — {results.get('attack', '?')}"]
+    for setting, modes in results.get("settings", {}).items():
+        reduction = modes.get("query_reduction", 0.0)
+        lines.append(f"  [{setting}] active-set query reduction: {reduction * 100:.1f}%")
+        for mode in ("fixed", "active"):
+            entry = modes.get(mode)
+            if not entry:
+                continue
+            lines.append(
+                f"    {mode:<6} {entry['sample_queries']:>6} sample queries "
+                f"({entry['gradient_calls']} calls)  success={entry['success_rate'] * 100:5.1f}%"
+            )
+            for point in entry["curve"]:
+                lines.append(
+                    f"      step {point['iteration']:>2}: "
+                    f"queries={point['sample_queries']:>6}  "
+                    f"active={point['active']:>4}  "
+                    f"success={point['success_rate'] * 100:5.1f}%"
+                )
+    return "\n".join(lines)
+
+
+def format_robustness_curve(results) -> str:
+    """Render the robustness_curve payload: success / robust accuracy vs ε."""
+    lines = ["Robustness curve (attack success and robust accuracy vs ε)"]
+    for row in results:
+        lines.append(
+            f"  ε={row['epsilon']:.3f} [{row['attack']}]  "
+            f"success: clear={row['success_unshielded'] * 100:5.1f}% "
+            f"shielded={row['success_shielded'] * 100:5.1f}%  |  "
+            f"robust acc: clear={row['robust_unshielded'] * 100:5.1f}% "
+            f"shielded={row['robust_shielded'] * 100:5.1f}%"
+        )
+    return "\n".join(lines)
 
 
 def _is_dataclass_payload(results) -> bool:

@@ -42,7 +42,10 @@ class MultiHeadSelfAttention(Module):
         q, k, v = qkv[0], qkv[1], qkv[2]
         scores = (q @ k.swapaxes(-1, -2)) * self.scale  # (N, H, T, T)
         attention = F.softmax(scores, axis=-1)
-        self.last_attention_weights = np.array(attention.data, copy=True)
+        # Stored by reference (read-only for consumers): captured-graph replay
+        # refreshes the softmax output buffer in place, so this attribute stays
+        # in sync with replayed forward passes as well as eager ones.
+        self.last_attention_weights = attention.data
         context = attention @ v  # (N, H, T, Dh)
         context = context.transpose((0, 2, 1, 3)).reshape(n, t, d)
         return self.proj(context)

@@ -1,0 +1,162 @@
+"""Tests of captured-graph execution (record once, replay with reused buffers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    CapturedExecution,
+    EagerExecution,
+    GraphCaptureError,
+    GraphRecording,
+    Tensor,
+    TraceHandles,
+    resolve_execution_backend,
+)
+from repro.autodiff import functional as F
+
+
+def _mlp_trace(weights, labels):
+    """A trace closure building a small MLP + objective graph."""
+    w1, w2 = weights
+
+    def trace(array: np.ndarray) -> TraceHandles:
+        x = Tensor(array, requires_grad=True, is_input=True)
+        hidden = F.gelu(x @ w1)
+        logits = hidden @ w2
+        objective = F.cross_entropy(logits, labels, reduction="sum") + F.margin_loss(
+            logits, labels, confidence=2.0
+        )
+        return TraceHandles(objective=objective, input=x)
+
+    return trace
+
+
+@pytest.fixture()
+def mlp():
+    rng = np.random.default_rng(7)
+    w1 = Tensor(rng.normal(size=(6, 8)), requires_grad=True, is_parameter=True)
+    w2 = Tensor(rng.normal(size=(8, 3)), requires_grad=True, is_parameter=True)
+    labels = np.array([0, 2, 1, 0])
+    return _mlp_trace((w1, w2), labels), rng
+
+
+class TestGraphRecording:
+    def test_replay_gradients_are_bit_identical_to_eager(self, mlp):
+        trace, rng = mlp
+        eager, captured = EagerExecution(), CapturedExecution()
+        for trial in range(4):
+            batch = rng.normal(size=(4, 6))
+            expected = np.array(eager.run(trace, batch).input.grad)
+            actual = np.array(captured.run(trace, batch, key="mlp").input.grad)
+            np.testing.assert_array_equal(expected, actual, err_msg=f"trial {trial}")
+        # Lazy recording: query 1 runs eagerly, query 2 records, 3-4 replay.
+        assert captured.stats.records == 1
+        assert captured.stats.replays == 2
+
+    def test_replay_objective_value_matches_eager(self, mlp):
+        trace, rng = mlp
+        eager, captured = EagerExecution(), CapturedExecution()
+        for _ in range(3):
+            batch = rng.normal(size=(4, 6))
+            expected = eager.run(trace, batch).objective.data
+            actual = captured.run(trace, batch, key="mlp").objective.data
+            np.testing.assert_array_equal(expected, actual)
+
+    def test_shape_mismatch_is_rejected(self, mlp):
+        trace, rng = mlp
+        handles = EagerExecution().run(trace, rng.normal(size=(4, 6)))
+        recording = GraphRecording(handles)
+        with pytest.raises(GraphCaptureError):
+            recording.replay(rng.normal(size=(2, 6)))
+
+    def test_rebinds_reapplied_after_replay(self, mlp):
+        trace, rng = mlp
+
+        class Holder:
+            attr = None
+
+        holder = Holder()
+
+        def trace_with_rebind(array):
+            handles = trace(array)
+            handles.rebinds.append((holder, "attr", "recorded"))
+            return handles
+
+        captured = CapturedExecution()
+        captured.run(trace_with_rebind, rng.normal(size=(4, 6)), key="r")
+        captured.run(trace_with_rebind, rng.normal(size=(4, 6)), key="r")  # records
+        holder.attr = "clobbered"
+        captured.run(trace_with_rebind, rng.normal(size=(4, 6)), key="r")  # replays
+        assert holder.attr == "recorded"
+
+
+def _shape_agnostic_trace():
+    """A trace whose labels adapt to the incoming batch size."""
+    rng = np.random.default_rng(9)
+    weight = Tensor(rng.normal(size=(6, 3)), requires_grad=True, is_parameter=True)
+
+    def trace(array: np.ndarray) -> TraceHandles:
+        x = Tensor(array, requires_grad=True, is_input=True)
+        logits = F.gelu(x @ weight)
+        labels = np.zeros(len(array), dtype=np.int64)
+        return TraceHandles(
+            objective=F.cross_entropy(logits, labels, reduction="sum"), input=x
+        )
+
+    return trace
+
+
+class TestCapturedExecutionCache:
+    def test_different_shapes_record_separately(self):
+        trace, rng = _shape_agnostic_trace(), np.random.default_rng(1)
+        captured = CapturedExecution()
+        for shape in ((4, 6), (4, 6), (2, 6), (2, 6), (4, 6)):
+            captured.run(trace, rng.normal(size=shape), key="k")
+        # Each shape: first query eager, second records; the fifth replays.
+        assert captured.stats.records == 2
+        assert captured.stats.replays == 1
+
+    def test_lru_eviction_bounds_recordings(self):
+        trace, rng = _shape_agnostic_trace(), np.random.default_rng(1)
+        captured = CapturedExecution(max_recordings=1)
+        captured.run(trace, rng.normal(size=(4, 6)), key="k")
+        captured.run(trace, rng.normal(size=(4, 6)), key="k")  # records (4, 6)
+        captured.run(trace, rng.normal(size=(2, 6)), key="k")
+        captured.run(trace, rng.normal(size=(2, 6)), key="k")  # evicts the first
+        captured.run(trace, rng.normal(size=(4, 6)), key="k")  # records again
+        assert captured.stats.records == 3
+        assert captured.stats.replays == 0
+
+    def test_unsupported_graph_falls_back_to_eager(self):
+        rng = np.random.default_rng(3)
+        generator = np.random.default_rng(0)
+
+        def trace(array):
+            x = Tensor(array, requires_grad=True, is_input=True)
+            dropped = F.dropout(x, rate=0.5, rng=generator, training=True)
+            return TraceHandles(objective=dropped.sum(), input=x)
+
+        captured = CapturedExecution()
+        for _ in range(3):
+            handles = captured.run(trace, rng.normal(size=(4, 4)), key="drop")
+            assert handles.input.grad is not None
+        # Query 1 is the lazy eager pass; 2 fails to record, 3 short-circuits.
+        assert captured.stats.records == 0
+        assert captured.stats.fallbacks == 2
+
+
+class TestResolveExecutionBackend:
+    def test_names_resolve(self):
+        assert resolve_execution_backend("eager").name == "eager"
+        assert resolve_execution_backend("captured").name == "captured"
+        assert resolve_execution_backend(None).name == "eager"
+
+    def test_instances_pass_through(self):
+        backend = CapturedExecution()
+        assert resolve_execution_backend(backend) is backend
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_execution_backend("jit")
