@@ -18,7 +18,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks import SelfAttentionGradientAttack, make_attacker_view
+from repro.attacks import (
+    AttackDriver,
+    DriverConfig,
+    SelfAttentionGradientAttack,
+    make_attacker_view,
+)
 from repro.core.shielded_model import ShieldedModel
 from repro.data import iid_partition, make_cifar10_like
 from repro.fl import (
@@ -97,12 +102,13 @@ def main() -> None:
     images = dataset.test_images[correct][:24]
     labels = dataset.test_labels[correct][:24]
     saga = SelfAttentionGradientAttack(epsilon=0.062, step_size=0.0062, steps=10, alpha_cnn=0.5)
+    driver = AttackDriver(DriverConfig(backend="captured", active_set=False))
 
-    clear = saga.run(make_attacker_view(global_model), images, labels)
+    clear = driver.run(saga, make_attacker_view(global_model), images, labels)
     print(f"SAGA success WITHOUT PELTA: {clear.success_rate:.1%}")
 
     shielded_view = make_attacker_view(ShieldedModel(global_model), strategy="auto")
-    shielded = saga.run(shielded_view, images, labels)
+    shielded = driver.run(saga, shielded_view, images, labels)
     print(f"SAGA success WITH PELTA:    {shielded.success_rate:.1%}")
 
 

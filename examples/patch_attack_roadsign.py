@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks import AdversarialPatchAttack, make_attacker_view
+from repro.attacks import AdversarialPatchAttack, AttackDriver, DriverConfig, make_attacker_view
 from repro.core import ShieldedModel
 from repro.data import make_cifar10_like
 from repro.eval import select_correctly_classified
@@ -38,9 +38,10 @@ def main() -> None:
     )
 
     attack = AdversarialPatchAttack(patch_size=8, steps=25, step_size=0.05, row=2, col=2)
+    driver = AttackDriver(DriverConfig(backend="captured", active_set=False))
 
     # Compromised client with full white-box access to its local model copy.
-    white_box = attack.run(make_attacker_view(model), signs, sign_labels)
+    white_box = driver.run(attack, make_attacker_view(model), signs, sign_labels)
     print(
         f"sticker crafted WITHOUT PELTA: {white_box.success_rate:.1%} of signs misclassified "
         f"(patch covers {attack.patch_size}x{attack.patch_size} pixels)"
@@ -48,7 +49,7 @@ def main() -> None:
 
     # Same client when the deployment shields the stem with PELTA.
     shielded_view = make_attacker_view(ShieldedModel(model))
-    shielded = attack.run(shielded_view, signs, sign_labels)
+    shielded = driver.run(attack, shielded_view, signs, sign_labels)
     # The defender evaluates with its own (unchanged) model.
     fooled = (model.predict(shielded.adversarials) != sign_labels).mean()
     print(f"sticker crafted WITH PELTA:    {fooled:.1%} of signs misclassified")

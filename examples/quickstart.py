@@ -16,7 +16,7 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro.attacks import PGD, make_attacker_view
+from repro.attacks import AttackDriver, DriverConfig, PGD, make_attacker_view
 from repro.core import ShieldedModel, format_bytes, measure_shielded_model
 from repro.eval import ExperimentConfig, robust_accuracy, select_correctly_classified
 from repro.eval.engine import ArtifactCache
@@ -50,17 +50,21 @@ def main() -> None:
         model.predict, dataset.test_images, dataset.test_labels, max_samples=32
     )
     attack = PGD(epsilon=0.031, step_size=0.0031, steps=10)
+    # The attack driver owns the step loop: captured-graph gradient replay
+    # and per-sample query accounting come for free (active_set=False keeps
+    # the paper's fixed-budget trajectories).
+    driver = AttackDriver(DriverConfig(backend="captured", active_set=False))
 
     # 2. White-box attack on the unshielded model ---------------------------
     white_box_view = make_attacker_view(model)
-    clear_adversarials = attack.run(white_box_view, images, labels).adversarials
+    clear_adversarials = driver.run(attack, white_box_view, images, labels).adversarials
     clear_robust = robust_accuracy(model.predict, clear_adversarials, labels)
     print(f"PGD robust accuracy without PELTA: {clear_robust:.1%}")
 
     # 3. The same attack against the PELTA-shielded model -------------------
     shielded = ShieldedModel(model)  # seals the ViT stem inside a TrustZone enclave
     restricted_view = make_attacker_view(shielded)
-    shielded_adversarials = attack.run(restricted_view, images, labels).adversarials
+    shielded_adversarials = driver.run(attack, restricted_view, images, labels).adversarials
     shielded_robust = robust_accuracy(model.predict, shielded_adversarials, labels)
     print(f"PGD robust accuracy with PELTA:    {shielded_robust:.1%}")
 

@@ -40,6 +40,8 @@ SECTIONS = {
     "attack_budget_curve": "attack_budget_curve",
     "robustness_curve": "robustness_curve",
     "federated": "fl_",
+    "serving_throughput": "serving_throughput",
+    "serving_latency_slo": "serving_latency_slo",
 }
 
 _MARKER = "<!-- BEGIN RESULTS: {key} -->"

@@ -11,11 +11,16 @@ can inspect and shield.
 from repro.autodiff.capture import (
     EXECUTION_BACKENDS,
     CapturedExecution,
+    CapturedInference,
     EagerExecution,
+    EagerInference,
     GraphCaptureError,
     GraphRecording,
+    InferenceHandles,
+    InferenceRecording,
     TraceHandles,
     resolve_execution_backend,
+    resolve_inference_backend,
 )
 from repro.autodiff.context import (
     ShieldRegion,
@@ -61,16 +66,21 @@ from repro.autodiff.tensor import (
 
 __all__ = [
     "CapturedExecution",
+    "CapturedInference",
     "EXECUTION_BACKENDS",
     "EagerExecution",
+    "EagerInference",
     "GraphCaptureError",
     "GraphNode",
     "GraphRecording",
     "GraphSnapshot",
+    "InferenceHandles",
+    "InferenceRecording",
     "ShieldRegion",
     "Tensor",
     "TraceHandles",
     "resolve_execution_backend",
+    "resolve_inference_backend",
     "active_shield_region",
     "as_tensor",
     "avg_pool2d",

@@ -23,6 +23,13 @@ redraws its mask per call) transparently fall back to eager execution.
 A recording owns its buffers, so it must not be shared across threads, and it
 assumes the model parameters do not change between replays (true for the
 attack hot path: defenders are frozen while being attacked).
+
+The same machinery also powers the **grad-free inference mode** used by the
+serving runtime (:mod:`repro.serve`): :class:`CapturedInference` records a
+forward-only graph — traced under ``no_grad``, where ops still register
+their ``forward_fn`` thunks but no tape is built — and replays it into the
+same activation buffers, LRU-keyed on (model, partition, batch shape).
+Replayed logits are bit-identical to an eager forward of the same batch.
 """
 
 from __future__ import annotations
@@ -210,6 +217,164 @@ class CapturedExecution:
         while len(self._recordings) > self.max_recordings:
             self._recordings.popitem(last=False)
         return handles
+
+
+# --------------------------------------------------------------------------- #
+# Grad-free inference capture (the serving hot path)
+# --------------------------------------------------------------------------- #
+@dataclass
+class InferenceHandles:
+    """Live graph handles an inference trace hands back to the backend.
+
+    Unlike :class:`TraceHandles` there is no objective and no tape: the graph
+    is recorded forward-only (ops register ``forward_fn`` thunks even with
+    gradients disabled), so a replay re-runs the NumPy expressions without
+    any backward bookkeeping.  ``rebinds`` works as for gradient traces;
+    ``on_replay`` (if set) runs after every replay — the serving runtime uses
+    it to re-charge the TEE boundary crossings the eager pass paid.
+    """
+
+    input: Tensor
+    output: Tensor
+    rebinds: list[tuple[object, str, object]] = field(default_factory=list)
+    on_replay: Callable[[], None] | None = None
+
+
+class InferenceRecording:
+    """A replayable, tape-free snapshot of one (input → output) forward graph."""
+
+    def __init__(self, handles: InferenceHandles):
+        self.input = handles.input
+        self.output = handles.output
+        self.rebinds = list(handles.rebinds)
+        self.on_replay = handles.on_replay
+        dependent: set[int] = {self.input.node_id}
+        replay: list[Tensor] = []
+        for node in topological_order(self.output):
+            if node is self.input:
+                continue
+            if any(parent.node_id in dependent for parent in node.parents):
+                dependent.add(node.node_id)
+                if node.forward_fn is None:
+                    raise GraphCaptureError(
+                        f"op {node.op!r} does not support captured inference replay"
+                    )
+                replay.append(node)
+        if self.output.node_id not in dependent:
+            raise GraphCaptureError("model output does not depend on the input")
+        #: Input-dependent nodes with the lazily-decided copy flag (see
+        #: :class:`GraphRecording`: view-producing ops skip the copy).
+        self._replay: list[list] = [[node, None] for node in replay]
+        self.replays = 0
+
+    def __len__(self) -> int:
+        return len(self._replay)
+
+    def replay(self, inputs: np.ndarray) -> InferenceHandles:
+        """Re-execute the recorded forward pass in place; no tape, no grads."""
+        inputs = np.asarray(inputs)
+        if inputs.shape != self.input.shape:
+            raise GraphCaptureError(
+                f"replay input shape {inputs.shape} != recorded {self.input.shape}"
+            )
+        np.copyto(self.input.data, inputs)
+        for entry in self._replay:
+            node, needs_copy = entry
+            new_value = node.forward_fn()
+            if needs_copy is None:
+                needs_copy = entry[1] = not (
+                    new_value.shape == node.data.shape
+                    and new_value.strides == node.data.strides
+                    and new_value.__array_interface__["data"][0]
+                    == node.data.__array_interface__["data"][0]
+                )
+            if needs_copy:
+                np.copyto(node.data, new_value)
+        for obj, attribute, value in self.rebinds:
+            setattr(obj, attribute, value)
+        if self.on_replay is not None:
+            self.on_replay()
+        self.replays += 1
+        return InferenceHandles(
+            input=self.input, output=self.output, rebinds=self.rebinds, on_replay=self.on_replay
+        )
+
+
+#: An inference trace builds the forward graph for one query and returns its
+#: handles; it must run with gradient recording *enabled* at the tensor-op
+#: level (so forward thunks are registered) but needs no objective.
+InferenceTrace = Callable[[np.ndarray], InferenceHandles]
+
+
+class EagerInference:
+    """Trace a fresh forward graph per query (no recording)."""
+
+    name = "eager"
+
+    def run(self, trace: InferenceTrace, inputs: np.ndarray, key: Hashable = None):
+        return trace(np.asarray(inputs))
+
+
+class CapturedInference:
+    """Record-once / replay-many forward execution with an LRU cache.
+
+    The serving runtime keys recordings on (model identity, partition,
+    batch shape): together with the input dtype that addresses one recording.
+    Recording is lazy (second query with the same key), so one-shot shapes —
+    trailing partial batches the micro-batcher could not pad — never pay for
+    a recording nobody will replay.
+    """
+
+    name = "captured"
+
+    def __init__(self, max_recordings: int = 8):
+        self.max_recordings = max(int(max_recordings), 1)
+        self._recordings: OrderedDict[Hashable, InferenceRecording] = OrderedDict()
+        self._seen: set[Hashable] = set()
+        self._unsupported: set[Hashable] = set()
+        self.stats = CaptureStats()
+
+    def run(self, trace: InferenceTrace, inputs: np.ndarray, key: Hashable = None):
+        inputs = np.asarray(inputs)
+        full_key = (key, inputs.shape, inputs.dtype.str)
+        if full_key in self._unsupported:
+            self.stats.fallbacks += 1
+            return trace(inputs)
+        recording = self._recordings.get(full_key)
+        if recording is not None:
+            self._recordings.move_to_end(full_key)
+            self.stats.replays += 1
+            return recording.replay(inputs)
+        handles = trace(inputs)
+        if full_key not in self._seen:
+            self._seen.add(full_key)
+            return handles
+        try:
+            recording = InferenceRecording(handles)
+        except GraphCaptureError as error:
+            _LOGGER.info("captured inference falling back to eager: %s", error)
+            self._unsupported.add(full_key)
+            self.stats.fallbacks += 1
+            return handles
+        self._recordings[full_key] = recording
+        self.stats.records += 1
+        while len(self._recordings) > self.max_recordings:
+            self._recordings.popitem(last=False)
+        return handles
+
+
+def resolve_inference_backend(spec) -> EagerInference | CapturedInference:
+    """Coerce a backend name or instance into an inference execution backend."""
+    if spec is None or spec == "eager":
+        return EagerInference()
+    if spec == "captured":
+        return CapturedInference()
+    if hasattr(spec, "run") and hasattr(spec, "name"):
+        return spec
+    raise ValueError(
+        f"unknown inference backend {spec!r}; expected one of {EXECUTION_BACKENDS} "
+        "or an object with a .run(trace, inputs, key) method"
+    )
 
 
 def resolve_execution_backend(spec) -> EagerExecution | CapturedExecution:

@@ -7,6 +7,11 @@ from repro.core.memory_cost import (
     measure_shielded_model,
     paper_table1,
 )
+from repro.core.partition import (
+    BoundaryCrossing,
+    ModelPartition,
+    StagedForwardResult,
+)
 from repro.core.selection import (
     select_by_memory_budget,
     select_first_transforms,
@@ -28,12 +33,15 @@ from repro.core.views import (
 )
 
 __all__ = [
+    "BoundaryCrossing",
     "FullWhiteBoxView",
     "GradientView",
+    "ModelPartition",
     "PeltaShieldReport",
     "RestrictedWhiteBoxView",
     "ShieldMemoryEstimate",
     "ShieldedModel",
+    "StagedForwardResult",
     "chain_rule_is_broken",
     "clear_adjoint_candidates",
     "estimate_paper_model",

@@ -24,6 +24,7 @@ import numpy as np
 from repro.autodiff.context import no_grad
 from repro.autodiff.graph import GraphSnapshot
 from repro.autodiff.tensor import Tensor
+from repro.core.partition import BoundaryCrossing, ModelPartition
 from repro.core.selection import select_shield_tagged
 from repro.core.shielding import PeltaShieldReport, pelta_shield
 from repro.models.base import ImageClassifier
@@ -44,6 +45,10 @@ class ShieldedModel:
             name=f"{type(model).__name__.lower()}.enclave"
         )
         self.accumulate_regions = accumulate_regions
+        #: Staged execution plan: shield-target stages run inside the
+        #: enclave, and every secure/clear stage edge charges the world
+        #: boundary explicitly (see :mod:`repro.core.partition`).
+        self.partition = ModelPartition(model, self.enclave)
         self.sealed_parameter_bytes = self.enclave.seal_parameters(
             model.stem_parameters(), prefix="stem."
         )
@@ -53,26 +58,26 @@ class ShieldedModel:
         self.last_frontier: Tensor | None = None
         #: Input tensor of the most recent forward pass.
         self.last_input: Tensor | None = None
+        #: Boundary crossings charged by the most recent forward pass.
+        self.last_crossings: list[BoundaryCrossing] = []
 
     # ------------------------------------------------------------------ #
     # Forward passes
     # ------------------------------------------------------------------ #
     def forward(self, x: Tensor) -> Tensor:
-        """Run the model with the stem shielded; returns the logits tensor."""
+        """Run the model's stage plan; returns the logits tensor.
+
+        The shielded stages run inside the enclave's shield scope; the value
+        crossing back to the normal world is the *frontier* — the paper's
+        shallowest clear layer, whose adjoint the attacker can still read.
+        """
         if not self.accumulate_regions:
             self.enclave.flush_regions()
         self.last_input = x
-        self.enclave.boundary.enter_secure_world(x.nbytes)
-        with self.enclave.shield_scope("stem"):
-            hidden = self.model.forward_stem(x)
-        self.enclave.boundary.exit_secure_world(hidden.nbytes)
-        # The stem output is handed back to the normal world: its *value* is
-        # visible there (it has to be, to continue the forward pass), which is
-        # exactly the paper's "shallowest clear layer" whose adjoint the
-        # attacker can still read.
-        hidden.shielded = False
-        self.last_frontier = hidden
-        return self.model.forward_trunk(hidden)
+        result = self.partition.run(x)
+        self.last_frontier = result.frontier
+        self.last_crossings = result.crossings
+        return result.output
 
     def __call__(self, x: Tensor) -> Tensor:
         return self.forward(x)

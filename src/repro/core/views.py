@@ -80,6 +80,7 @@ def _replay_rebinds(model) -> list[tuple[object, str, object]]:
     if isinstance(model, ShieldedModel):
         rebinds.append((model, "last_frontier", model.last_frontier))
         rebinds.append((model, "last_input", model.last_input))
+        rebinds.append((model, "last_crossings", model.last_crossings))
         base = model.model
     else:
         base = model

@@ -26,11 +26,13 @@ from repro.eval.engine.executor import BACKENDS, CellExecutor, ExecutorConfig
 from repro.eval.engine.registry import (
     SCALES,
     SCENARIO_KINDS,
+    SERVING_SCALES,
     Scenario,
     build_scenario,
     list_scenarios,
     register_scenario,
     scaled_experiment_config,
+    scenario_catalog,
     unregister_scenario,
 )
 from repro.eval.engine.results import (
@@ -55,6 +57,7 @@ __all__ = [
     "RunRecord",
     "SCALES",
     "SCENARIO_KINDS",
+    "SERVING_SCALES",
     "Scenario",
     "build_scenario",
     "ensemble_result_from_payload",
@@ -70,6 +73,7 @@ __all__ = [
     "saga_study_from_payload",
     "save_run",
     "scaled_experiment_config",
+    "scenario_catalog",
     "stable_hash",
     "unregister_scenario",
 ]

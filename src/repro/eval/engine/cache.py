@@ -21,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -70,16 +71,39 @@ class CacheStats:
     defender_misses: int = 0
     disk_hits: int = 0
     trainings: int = 0
+    evictions: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dataclasses.asdict(self)
 
 
-class ArtifactCache:
-    """Config-hash-keyed cache of datasets and trained defender models."""
+#: Default size budget (bytes) of the on-disk defender tier; overridable per
+#: cache or process-wide with REPRO_CACHE_BUDGET_MB.  Long bench sessions
+#: sweep many (model, config, seed) keys — without a budget the checkpoint
+#: directory grows without bound.
+DEFAULT_DISK_BUDGET_BYTES = 512 * 1024 * 1024
 
-    def __init__(self, directory: str | Path | None = None):
+
+def _disk_budget_from_env() -> int:
+    budget_mb = os.environ.get("REPRO_CACHE_BUDGET_MB")
+    if budget_mb:
+        return int(float(budget_mb) * 1024 * 1024)
+    return DEFAULT_DISK_BUDGET_BYTES
+
+
+class ArtifactCache:
+    """Config-hash-keyed cache of datasets and trained defender models.
+
+    The disk tier is LRU-bounded: reads refresh an artifact's mtime, and
+    writes evict the stalest ``.npz``/``.json`` pairs until the directory
+    fits ``max_disk_bytes`` (0 disables eviction).
+    """
+
+    def __init__(self, directory: str | Path | None = None, max_disk_bytes: int | None = None):
         self.directory = Path(directory) if directory is not None else None
+        self.max_disk_bytes = (
+            int(max_disk_bytes) if max_disk_bytes is not None else _disk_budget_from_env()
+        )
         self._datasets: dict[str, SyntheticImageDataset] = {}
         self._defenders: dict[str, ImageClassifier] = {}
         self.stats = CacheStats()
@@ -125,6 +149,9 @@ class ArtifactCache:
         key = self.defender_key(model_name, config)
         if key in self._defenders:
             self.stats.defender_hits += 1
+            # A memory hit is still a *use*: refresh the disk artifact's LRU
+            # clock so a hot defender never looks stale to the eviction pass.
+            self._touch_disk(key)
             return self._defenders[key]
         dataset = self.get_dataset(config)
         model = self._build(model_name, dataset, config)
@@ -187,10 +214,23 @@ class ArtifactCache:
         if path is None or not path.exists():
             return None
         try:
-            return load_state(path)
+            state = load_state(path)
         except (OSError, ValueError) as error:
             _LOGGER.warning("discarding unreadable cached defender %s: %s", path, error)
             return None
+        # Refresh the LRU clock: a read makes the artifact recently-used, so
+        # the eviction pass removes cold checkpoints first.
+        self._touch_disk(key)
+        return state
+
+    def _touch_disk(self, key: str) -> None:
+        path = self._defender_path(key)
+        if path is None or not path.exists():
+            return
+        try:
+            path.touch()
+        except OSError:  # pragma: no cover - read-only cache directories
+            pass
 
     def _save_to_disk(
         self, key: str, model_name: str, config: "ExperimentConfig", model: ImageClassifier
@@ -208,6 +248,75 @@ class ArtifactCache:
             dtype=str(get_default_dtype()),
         )
         path.with_suffix(".json").write_text(json.dumps(metadata, indent=2, sort_keys=True))
+        self._evict_disk(keep=key)
+
+    # ------------------------------------------------------------------ #
+    # Disk hygiene
+    # ------------------------------------------------------------------ #
+    def _disk_entries(self) -> list[dict]:
+        """Cached defender archives, stalest first (json sidecar included)."""
+        if self.directory is None:
+            return []
+        entries = []
+        for path in (self.directory / "defenders").glob("*.npz"):
+            sidecar = path.with_suffix(".json")
+            try:
+                nbytes = path.stat().st_size
+                mtime = path.stat().st_mtime
+                if sidecar.exists():
+                    nbytes += sidecar.stat().st_size
+            except OSError:
+                continue
+            model = ""
+            if sidecar.exists():
+                try:
+                    model = json.loads(sidecar.read_text()).get("model", "")
+                except (OSError, ValueError):
+                    model = ""
+            entries.append(
+                {"key": path.stem, "path": path, "bytes": nbytes, "mtime": mtime, "model": model}
+            )
+        entries.sort(key=lambda entry: entry["mtime"])
+        return entries
+
+    def _evict_disk(self, keep: str | None = None) -> None:
+        """Drop the stalest archives until the disk tier fits its budget."""
+        if self.directory is None or self.max_disk_bytes <= 0:
+            return
+        entries = self._disk_entries()
+        total = sum(entry["bytes"] for entry in entries)
+        for entry in entries:
+            if total <= self.max_disk_bytes:
+                break
+            if entry["key"] == keep:
+                # Never evict the artifact this write produced, even when it
+                # alone exceeds the budget (it is the hottest entry).
+                continue
+            entry["path"].unlink(missing_ok=True)
+            entry["path"].with_suffix(".json").unlink(missing_ok=True)
+            total -= entry["bytes"]
+            self.stats.evictions += 1
+            _LOGGER.info(
+                "evicted cached defender %s (%s, %.1f MiB) to fit the %d MiB cache budget",
+                entry["key"],
+                entry["model"] or "unknown model",
+                entry["bytes"] / (1024 * 1024),
+                self.max_disk_bytes // (1024 * 1024),
+            )
+
+    def disk_stats(self) -> dict:
+        """Occupancy of the disk tier (the ``--cache-stats`` CLI payload)."""
+        entries = self._disk_entries()
+        return {
+            "defenders": len(entries),
+            "total_bytes": sum(entry["bytes"] for entry in entries),
+            "budget_bytes": self.max_disk_bytes if self.directory is not None else 0,
+            "evictions": self.stats.evictions,
+            "entries": [
+                {"key": entry["key"], "bytes": entry["bytes"], "model": entry["model"]}
+                for entry in reversed(entries)  # most recently used first
+            ],
+        }
 
     # ------------------------------------------------------------------ #
     # Maintenance

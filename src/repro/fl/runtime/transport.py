@@ -22,7 +22,7 @@ throughput/deployment choice.
 from __future__ import annotations
 
 import os
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.eval.engine.executor import BACKENDS, CellExecutor, ExecutorConfig
 from repro.fl.runtime.envelopes import UpdateEnvelope
@@ -33,12 +33,23 @@ TRANSPORTS = BACKENDS
 
 
 class Transport:
-    """Order-preserving exchange of client tasks for update envelopes."""
+    """Order-preserving exchange of client tasks for update envelopes.
+
+    Beyond the FL-typed :meth:`exchange`, every transport exposes a generic
+    :meth:`map` so other runtimes — the serving worker pool in
+    :mod:`repro.serve` — can fan their own task shapes out over the same
+    serial/thread/process backends without re-deriving the pool semantics.
+    """
 
     name = "base"
 
-    def exchange(self, tasks: Sequence[ClientTask]) -> list[UpdateEnvelope]:
+    def map(self, fn: Callable, items: Sequence) -> list:
+        """Order-preserving map of ``fn`` over ``items`` on this transport."""
         raise NotImplementedError
+
+    def exchange(self, tasks: Sequence[ClientTask]) -> list[UpdateEnvelope]:
+        """FL traffic: exchange client tasks for their update envelopes."""
+        return self.map(run_client_task, tasks)
 
     def describe(self) -> dict:
         """JSON-able description for run records."""
@@ -60,10 +71,14 @@ class ExecutorTransport(Transport):
             name = "thread" if workers > 1 else "serial"
         self.name = name
 
-    def exchange(self, tasks: Sequence[ClientTask]) -> list[UpdateEnvelope]:
-        tasks = list(tasks)
-        self.name, _ = self._executor.resolve(len(tasks))
-        return self._executor.map(run_client_task, tasks)
+    def resolve(self, num_tasks: int) -> tuple[str, int]:
+        """The (backend, workers) a batch of ``num_tasks`` would actually use."""
+        return self._executor.resolve(num_tasks)
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        items = list(items)
+        self.name, _ = self._executor.resolve(len(items))
+        return self._executor.map(fn, items)
 
     def describe(self) -> dict:
         return {"transport": self.name, "max_workers": self.max_workers}

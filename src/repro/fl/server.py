@@ -8,6 +8,7 @@ over the in-process transport; new code should use the runtime directly
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 import numpy as np
@@ -93,6 +94,13 @@ class FLServer:
         in-process transport, keeping this server's sampling RNG,
         broadcast packaging and aggregation behaviour.
         """
+        warnings.warn(
+            "FLServer.run_round is deprecated; drive rounds through "
+            "repro.fl.runtime.FederationRuntime (transport selection, attested "
+            "sessions, round hooks)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         from repro.fl.runtime import FederationRuntime, InProcessTransport
 
         runtime = FederationRuntime(

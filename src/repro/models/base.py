@@ -9,10 +9,30 @@ applied by :class:`repro.core.shielded_model.ShieldedModel`.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Callable
+
 import numpy as np
 
 from repro.autodiff.tensor import Tensor
 from repro.nn.module import Module, Parameter
+
+
+@dataclass(frozen=True)
+class ForwardStage:
+    """One stage of a model's staged forward pass.
+
+    A model's forward pass is an ordered sequence of stages; each stage maps
+    the previous stage's output tensor to its own.  ``shield_target`` marks
+    the stages the PELTA policy places inside the TEE when the model is
+    shielded — for every zoo model that is exactly the stem.  The flag is a
+    *capability*, not a deployment decision: a plain (unshielded) model runs
+    all of its stages in the normal world.
+    """
+
+    name: str
+    run: Callable[[Tensor], Tensor]
+    shield_target: bool = False
 
 
 class ImageClassifier(Module):
@@ -51,8 +71,25 @@ class ImageClassifier(Module):
         """Run the remaining transforms, producing logits."""
         raise NotImplementedError
 
+    def forward_stages(self) -> list[ForwardStage]:
+        """The model's forward pass as an explicit stage sequence.
+
+        The default partition is the stem / trunk split every zoo model
+        implements; architectures with a finer natural pipeline may override
+        this with more stages.  The stages marked ``shield_target`` are the
+        ones :class:`~repro.core.shielded_model.ShieldedModel` runs inside
+        the enclave, with world-switch and byte-transfer costs charged at
+        every secure/clear boundary between consecutive stages.
+        """
+        return [
+            ForwardStage("stem", self.forward_stem, shield_target=True),
+            ForwardStage("trunk", self.forward_trunk, shield_target=False),
+        ]
+
     def forward(self, x: Tensor) -> Tensor:
-        return self.forward_trunk(self.forward_stem(x))
+        for stage in self.forward_stages():
+            x = stage.run(x)
+        return x
 
     # ------------------------------------------------------------------ #
     # Introspection used by PELTA and the attacks

@@ -28,7 +28,7 @@ from repro.eval.engine import (
     ExecutorConfig,
     ExperimentEngine,
     SCALES,
-    list_scenarios,
+    scenario_catalog,
 )
 from repro.eval.tables import render_run
 from repro.utils.logging import set_verbosity
@@ -63,7 +63,16 @@ def build_parser() -> argparse.ArgumentParser:
         description="Run a registered PELTA experiment scenario through the engine.",
     )
     parser.add_argument("scenario", nargs="?", help="scenario name (see --list)")
-    parser.add_argument("--list", action="store_true", help="list registered scenarios and exit")
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list registered scenarios (kind, scales, description) and exit",
+    )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print the on-disk artifact cache occupancy under --results-dir and exit",
+    )
     parser.add_argument(
         "--scale", default="bench", choices=sorted(SCALES), help="configuration preset"
     )
@@ -100,8 +109,34 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list:
-        for name, description in list_scenarios().items():
-            print(f"{name:<22} {description}")
+        scales_width = max(len("/".join(SCALES)), len("scales"))
+        print(f"{'scenario':<22} {'kind':<19} {'scales':<{scales_width}}  description")
+        for row in scenario_catalog():
+            scales = "/".join(row["scales"])
+            print(
+                f"{row['name']:<22} {row['kind']:<19} {scales:<{scales_width}}  "
+                f"{row['description']}"
+            )
+        return 0
+    if args.cache_stats:
+        from repro.eval.engine import ArtifactCache
+
+        cache = ArtifactCache(directory=f"{args.results_dir}/cache")
+        stats = cache.disk_stats()
+        print(f"artifact cache under {args.results_dir}/cache:")
+        print(
+            f"  {stats['defenders']} cached defender(s), "
+            f"{stats['total_bytes'] / (1024 * 1024):.1f} MiB used"
+            + (
+                f" of {stats['budget_bytes'] / (1024 * 1024):.1f} MiB budget"
+                if stats["budget_bytes"] else " (no size budget)"
+            )
+        )
+        for entry in stats["entries"]:
+            print(
+                f"    {entry['key']}  {entry['bytes'] / (1024 * 1024):6.2f} MiB  "
+                f"{entry['model']}"
+            )
         return 0
     if not args.scenario:
         build_parser().print_usage()

@@ -1,0 +1,236 @@
+"""The shielded inference serving runtime.
+
+:class:`ShieldedInferenceService` fuses the pieces the previous PRs built
+into one serving path:
+
+* the model runs as an explicit **stage partition** — the shielded stem
+  enclave-resident, the trunk in the normal world — with world-switch and
+  byte-transfer costs charged per boundary crossing
+  (:mod:`repro.core.partition`);
+* forwards execute through the **grad-free capture** backend
+  (:class:`~repro.autodiff.capture.CapturedInference`): recorded once per
+  (replica, batch shape), replayed bit-identically with reused buffers;
+* requests flow through an arrival-ordered queue and a **dynamic
+  micro-batcher** (max-batch / max-wait, padding to cached shapes), then fan
+  out over a **worker pool** of model replicas on the federation transports
+  (:mod:`repro.serve.workers`);
+* clients may open **attestation-gated sessions** and send sealed queries
+  (:mod:`repro.serve.session`).
+
+Latency accounting runs on two clocks: queue wait is virtual (deterministic
+from the workload's arrival times and the batching policy), service time is
+measured wall-clock per batch plus the simulated TEE boundary time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.models.base import ImageClassifier
+from repro.serve.batching import (
+    BatchingPolicy,
+    InferenceReply,
+    InferenceRequest,
+    MicroBatch,
+    MicroBatcher,
+)
+from repro.serve.session import SealedQuery, ServingSession, SessionManager
+from repro.serve.workers import ServingWorkerPool
+from repro.utils.logging import get_logger
+
+_LOGGER = get_logger("serve.runtime")
+
+
+@dataclass
+class ServingStats:
+    """Aggregate accounting of one serving run."""
+
+    requests: int = 0
+    sealed_requests: int = 0
+    batches: int = 0
+    padded_slots: int = 0
+    wall_seconds: float = 0.0
+    throughput_rps: float = 0.0
+    mean_batch_size: float = 0.0
+    latency_us_mean: float = 0.0
+    latency_us_p50: float = 0.0
+    latency_us_p95: float = 0.0
+    latency_us_p99: float = 0.0
+    world_switches_total: int = 0
+    world_switches_per_request: float = 0.0
+    boundary_time_us: float = 0.0
+    capture: dict = field(default_factory=dict)
+    transport: str = "serial"
+    workers: int = 1
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class ServingReport:
+    """Everything one :meth:`ShieldedInferenceService.serve` call produced."""
+
+    replies: list[InferenceReply]
+    stats: ServingStats
+    partition: list[dict]
+
+    def predictions(self) -> np.ndarray:
+        return np.array([reply.prediction for reply in self.replies], dtype=np.int64)
+
+    def logits(self) -> np.ndarray:
+        return np.stack([reply.logits for reply in self.replies], axis=0)
+
+    def latencies_us(self) -> np.ndarray:
+        return np.array([reply.latency_us for reply in self.replies], dtype=np.float64)
+
+
+class ShieldedInferenceService:
+    """Serve inference queries against a (optionally TEE-shielded) defender."""
+
+    def __init__(
+        self,
+        model: ImageClassifier,
+        policy: BatchingPolicy | None = None,
+        backend: str = "serial",
+        max_workers: int | None = None,
+        shielded: bool = True,
+        capture: str = "captured",
+        max_recordings: int = 8,
+    ):
+        self.policy = policy if policy is not None else BatchingPolicy()
+        self.pool = ServingWorkerPool(
+            model,
+            backend=backend,
+            max_workers=max_workers,
+            shielded=shielded,
+            capture=capture,
+            max_recordings=max_recordings,
+        )
+        self.shielded = shielded
+        self.batcher = MicroBatcher(self.policy)
+        # Sessions attest the *first replica's* enclave: every replica seals
+        # identical stem parameters, so their measurements coincide.
+        self.sessions = (
+            SessionManager(self.pool.replicas[0].model.enclave) if shielded else None
+        )
+        self._sealed_seen = 0
+
+    # ------------------------------------------------------------------ #
+    # Sessions and request intake
+    # ------------------------------------------------------------------ #
+    def open_session(self, session_id: str, seed: int = 0) -> ServingSession:
+        """Attest the serving enclave to a client; returns its sealed handle."""
+        if self.sessions is None:
+            raise RuntimeError("sealed sessions require a shielded service")
+        return self.sessions.open(session_id, seed=seed)
+
+    def submit(self, request: InferenceRequest) -> None:
+        """Enqueue one clear request."""
+        self.batcher.submit(request)
+
+    def submit_sealed(
+        self, request_id: int, sealed: SealedQuery, arrival_us: float = 0.0
+    ) -> None:
+        """Unseal a session query at the enclave edge and enqueue it."""
+        if self.sessions is None:
+            raise RuntimeError("sealed sessions require a shielded service")
+        payload = self.sessions.unseal_query(sealed)
+        self._sealed_seen += 1
+        self.batcher.submit(
+            InferenceRequest(
+                request_id=request_id,
+                payload=payload,
+                arrival_us=arrival_us,
+                session_id=sealed.session_id,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    def serve(self, requests: list[InferenceRequest] | None = None) -> ServingReport:
+        """Drain the queue (plus ``requests``) through batching and the pool."""
+        for request in requests or []:
+            self.batcher.submit(request)
+        batches = self.batcher.drain()
+        replies: list[InferenceReply] = []
+        stats = ServingStats(transport=self.pool.backend_name, workers=self.pool.num_workers)
+        stats.sealed_requests = self._sealed_seen
+        self._sealed_seen = 0
+        capture_totals: dict[str, int] = {}
+        start = time.perf_counter()
+        for wave_start in range(0, len(batches), self.pool.num_workers):
+            wave = batches[wave_start : wave_start + self.pool.num_workers]
+            results = self.pool.run_wave([batch.inputs for batch in wave])
+            for batch, result in zip(wave, results):
+                replies.extend(self._assemble(batch, result, stats))
+                for key, value in result.get("capture", {}).items():
+                    capture_totals[key] = capture_totals.get(key, 0) + value
+        stats.wall_seconds = time.perf_counter() - start
+        stats.requests = len(replies)
+        stats.batches = len(batches)
+        stats.mean_batch_size = len(replies) / max(len(batches), 1)
+        stats.throughput_rps = len(replies) / max(stats.wall_seconds, 1e-9)
+        stats.world_switches_per_request = stats.world_switches_total / max(len(replies), 1)
+        stats.capture = capture_totals
+        if replies:
+            latencies = np.array([reply.latency_us for reply in replies])
+            stats.latency_us_mean = float(latencies.mean())
+            stats.latency_us_p50 = float(np.percentile(latencies, 50))
+            stats.latency_us_p95 = float(np.percentile(latencies, 95))
+            stats.latency_us_p99 = float(np.percentile(latencies, 99))
+        _LOGGER.info(
+            "served %d requests in %d batches (%.1f rps, %.2f switches/request)",
+            stats.requests,
+            stats.batches,
+            stats.throughput_rps,
+            stats.world_switches_per_request,
+        )
+        return ServingReport(
+            replies=replies, stats=stats, partition=self.pool.partition_description()
+        )
+
+    def _assemble(
+        self, batch: MicroBatch, result: dict, stats: ServingStats
+    ) -> list[InferenceReply]:
+        logits = result["logits"][: len(batch)]
+        predictions = logits.argmax(axis=1)
+        service_us = result["service_s"] * 1e6 + result["boundary_us"]
+        stats.padded_slots += batch.pad
+        stats.world_switches_total += result["world_switches"]
+        stats.boundary_time_us += result["boundary_us"]
+        switches_share = result["world_switches"] / max(len(batch), 1)
+        replies = []
+        for row, request in enumerate(batch.requests):
+            completion_us = batch.ready_us + service_us
+            replies.append(
+                InferenceReply(
+                    request_id=request.request_id,
+                    prediction=int(predictions[row]),
+                    logits=np.array(logits[row], copy=True),
+                    latency_us=completion_us - request.arrival_us,
+                    batch_size=len(batch),
+                    world_switches=switches_share,
+                    session_id=request.session_id,
+                )
+            )
+        return replies
+
+    def seal_reply(self, reply: InferenceReply):
+        """Seal one reply's logits for its session's client."""
+        if self.sessions is None or reply.session_id is None:
+            raise RuntimeError("reply does not belong to a sealed session")
+        return self.sessions.seal_reply(reply.session_id, reply.logits)
+
+    def close(self) -> None:
+        self.pool.close()
+
+    def __enter__(self) -> "ShieldedInferenceService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

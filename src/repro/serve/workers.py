@@ -1,0 +1,185 @@
+"""Serving worker pool: model replicas over the federation transports.
+
+A :class:`ServingWorkerPool` owns one model replica per worker slot and fans
+micro-batches out through a :class:`~repro.fl.runtime.transport.Transport`
+(the same serial / thread / process backends FL rounds use).  Replicas are
+deep copies of the served model, each with its own enclave, partition plan
+and captured-inference cache, so concurrent batches never share mutable
+forward-pass state (attention maps, shield regions, replay buffers).
+
+Batches are dispatched in *waves* of at most one batch per replica; within a
+wave, batch *i* runs on replica *i*, which keeps the thread backend race-free
+without locks.  The worker function is module-level and resolves its replica
+through a process-global registry — the fork-based process backend inherits
+the registry (and the replicas) at fork time, so nothing but the batch
+payload and the result dict ever crosses a process boundary.  Boundary and
+capture statistics therefore travel *in the result*, not via shared state:
+with fork-per-wave the children's capture caches are cold each wave, which is
+why the throughput scenarios default to the serial / thread backends.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import time
+
+import numpy as np
+
+from repro.autodiff.capture import InferenceHandles, resolve_inference_backend
+from repro.autodiff.context import no_grad
+from repro.autodiff.tensor import Tensor
+from repro.core.partition import ModelPartition
+from repro.core.shielded_model import ShieldedModel
+from repro.fl.runtime.transport import Transport, get_transport
+from repro.models.base import ImageClassifier
+
+#: Process-global replica registry: pool id → replicas.  Forked workers see
+#: the parent's registry as of fork time; threads share it directly.
+_REPLICA_POOLS: dict[str, list["ServingReplica"]] = {}
+
+_POOL_IDS = itertools.count()
+
+
+class ServingReplica:
+    """One worker's private copy of the served model and its capture cache."""
+
+    def __init__(
+        self,
+        model: ImageClassifier,
+        shielded: bool = True,
+        capture: str = "captured",
+        max_recordings: int = 8,
+    ):
+        model.eval()
+        self.shielded = shielded
+        if shielded:
+            self.model = ShieldedModel(model)
+            self.partition = self.model.partition
+        else:
+            self.model = model
+            self.partition = ModelPartition(model, enclave=None)
+        self.backend = resolve_inference_backend(capture)
+        if hasattr(self.backend, "max_recordings"):
+            self.backend.max_recordings = max(int(max_recordings), 1)
+        self.capture = capture
+        # Identity token keyed into every recording: a replica only ever
+        # replays graphs it recorded itself.
+        self._token = object()
+
+    def _boundary_stats(self):
+        if not self.shielded:
+            return None
+        return self.model.enclave.boundary.stats
+
+    def _trace(self, array: np.ndarray) -> InferenceHandles:
+        with no_grad():
+            input_tensor = Tensor(array, is_input=True, name="serving.input")
+            output = self.model(input_tensor)
+        rebinds: list[tuple[object, str, object]] = []
+        on_replay = None
+        if self.shielded:
+            rebinds = [
+                (self.model, "last_frontier", self.model.last_frontier),
+                (self.model, "last_input", self.model.last_input),
+                (self.model, "last_crossings", self.model.last_crossings),
+            ]
+            # A replay runs no stage code, so re-charge the crossings the
+            # recorded eager pass paid — boundary accounting stays identical
+            # between eager and captured serving.
+            crossings = list(self.model.last_crossings)
+            partition = self.partition
+
+            def on_replay() -> None:
+                partition.replay_crossings(crossings)
+
+        return InferenceHandles(input=input_tensor, output=output, rebinds=rebinds, on_replay=on_replay)
+
+    def infer(self, inputs: np.ndarray) -> dict:
+        """Run one (padded) batch, returning logits plus cost accounting."""
+        boundary = self._boundary_stats()
+        switches_before = boundary.switches if boundary is not None else 0
+        simulated_before = boundary.simulated_time_us if boundary is not None else 0.0
+        capture_before = (
+            dict(self.backend.stats.as_dict()) if hasattr(self.backend, "stats") else None
+        )
+        start = time.perf_counter()
+        handles = self.backend.run(self._trace, inputs, key=(self._token,))
+        service_s = time.perf_counter() - start
+        result = {
+            "logits": np.array(handles.output.data, copy=True),
+            "service_s": service_s,
+            "world_switches": (boundary.switches - switches_before) if boundary else 0,
+            "boundary_us": (boundary.simulated_time_us - simulated_before) if boundary else 0.0,
+        }
+        if capture_before is not None:
+            after = self.backend.stats.as_dict()
+            result["capture"] = {
+                key: after[key] - capture_before[key] for key in after
+            }
+        return result
+
+
+def _run_serving_batch(payload: dict) -> dict:
+    """Module-level worker entry point (picklable for the process backend)."""
+    replica = _REPLICA_POOLS[payload["pool"]][payload["replica"]]
+    return replica.infer(payload["inputs"])
+
+
+class ServingWorkerPool:
+    """Replica-per-worker batch execution over a federation transport."""
+
+    def __init__(
+        self,
+        model: ImageClassifier,
+        backend: str = "serial",
+        max_workers: int | None = None,
+        shielded: bool = True,
+        capture: str = "captured",
+        max_recordings: int = 8,
+    ):
+        self.transport: Transport = get_transport(backend, max_workers=max_workers)
+        # One replica per worker the transport would actually use at scale.
+        _, workers = self.transport.resolve(max_workers or 10**6)
+        self.num_workers = max(1, workers)
+        self.replicas = [
+            ServingReplica(
+                copy.deepcopy(model),
+                shielded=shielded,
+                capture=capture,
+                max_recordings=max_recordings,
+            )
+            for _ in range(self.num_workers)
+        ]
+        self.pool_id = f"serve-pool-{next(_POOL_IDS)}"
+        _REPLICA_POOLS[self.pool_id] = self.replicas
+        # Snapshot the pool's identity now: the transport relabels itself
+        # per exchange (a one-batch tail wave resolves to "serial"), which
+        # must not rename the backend the run records report.
+        self.backend_name = self.transport.name
+
+    def run_wave(self, batches: list[np.ndarray]) -> list[dict]:
+        """Execute up to one batch per replica, preserving batch order."""
+        if len(batches) > self.num_workers:
+            raise ValueError(
+                f"wave of {len(batches)} batches exceeds {self.num_workers} replicas"
+            )
+        payloads = [
+            {"pool": self.pool_id, "replica": index, "inputs": inputs}
+            for index, inputs in enumerate(batches)
+        ]
+        return self.transport.map(_run_serving_batch, payloads)
+
+    def partition_description(self) -> list[dict]:
+        """Stage table of the served model (same for every replica)."""
+        return self.replicas[0].partition.describe()
+
+    def close(self) -> None:
+        """Release the replicas from the process-global registry."""
+        _REPLICA_POOLS.pop(self.pool_id, None)
+
+    def __enter__(self) -> "ServingWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

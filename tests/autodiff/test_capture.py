@@ -160,3 +160,105 @@ class TestResolveExecutionBackend:
     def test_unknown_name_rejected(self):
         with pytest.raises(ValueError):
             resolve_execution_backend("jit")
+
+
+# --------------------------------------------------------------------------- #
+# Grad-free inference capture (the serving hot path)
+# --------------------------------------------------------------------------- #
+from repro.autodiff import CapturedInference, InferenceHandles, no_grad  # noqa: E402
+from repro.autodiff import resolve_inference_backend  # noqa: E402
+
+
+def _inference_trace(weights, hooks=None):
+    """A forward-only trace (no objective, traced under no_grad)."""
+    w1, w2 = weights
+
+    def trace(array: np.ndarray) -> InferenceHandles:
+        with no_grad():
+            x = Tensor(array, is_input=True)
+            logits = F.gelu(x @ w1) @ w2
+        return InferenceHandles(input=x, output=logits, on_replay=hooks)
+
+    return trace
+
+
+@pytest.fixture()
+def inference_mlp():
+    rng = np.random.default_rng(11)
+    w1 = Tensor(rng.normal(size=(6, 8)), requires_grad=True, is_parameter=True)
+    w2 = Tensor(rng.normal(size=(8, 3)), requires_grad=True, is_parameter=True)
+    return (w1, w2), rng
+
+
+class TestInferenceCapture:
+    def test_replay_outputs_are_bit_identical_to_eager(self, inference_mlp):
+        weights, rng = inference_mlp
+        trace = _inference_trace(weights)
+        captured = CapturedInference()
+        for trial in range(4):
+            batch = rng.normal(size=(4, 6))
+            expected = np.array(trace(batch).output.data)
+            actual = np.array(captured.run(trace, batch, key="mlp").output.data)
+            np.testing.assert_array_equal(expected, actual, err_msg=f"trial {trial}")
+        assert captured.stats.records == 1
+        assert captured.stats.replays == 2
+
+    def test_no_tape_is_built_under_no_grad(self, inference_mlp):
+        weights, rng = inference_mlp
+        handles = _inference_trace(weights)(rng.normal(size=(2, 6)))
+        assert handles.output.backward_fn is None
+        assert not handles.output.requires_grad
+        # ... but the forward thunks are there, which is what replay needs.
+        assert handles.output.forward_fn is not None
+
+    def test_on_replay_hook_fires_per_replay_only(self, inference_mlp):
+        weights, rng = inference_mlp
+        fired = []
+        trace = _inference_trace(weights, hooks=lambda: fired.append(1))
+        captured = CapturedInference()
+        for _ in range(4):
+            captured.run(trace, rng.normal(size=(2, 6)), key="hook")
+        assert len(fired) == captured.stats.replays == 2
+
+    def test_shape_mismatch_is_rejected(self, inference_mlp):
+        from repro.autodiff import InferenceRecording
+
+        weights, rng = inference_mlp
+        trace = _inference_trace(weights)
+        recording = InferenceRecording(trace(rng.normal(size=(4, 6))))
+        with pytest.raises(GraphCaptureError, match="shape"):
+            recording.replay(rng.normal(size=(5, 6)))
+
+    def test_lru_eviction_bounds_recordings(self, inference_mlp):
+        weights, rng = inference_mlp
+        trace = _inference_trace(weights)
+        captured = CapturedInference(max_recordings=2)
+        for rows in (1, 2, 3, 1, 2, 3):  # 3 shapes, capacity 2
+            captured.run(trace, rng.normal(size=(rows, 6)), key="lru")
+            captured.run(trace, rng.normal(size=(rows, 6)), key="lru")
+        assert len(captured._recordings) == 2
+
+    def test_unsupported_graph_falls_back_to_eager(self):
+        generator = np.random.default_rng(0)
+        rng = np.random.default_rng(3)
+
+        def trace(array):
+            with no_grad():
+                x = Tensor(array, is_input=True)
+                out = F.dropout(x, rate=0.5, rng=generator, training=True)
+            return InferenceHandles(input=x, output=out)
+
+        captured = CapturedInference()
+        for _ in range(3):
+            handles = captured.run(trace, rng.normal(size=(4, 4)), key="drop")
+            assert handles.output.data.shape == (4, 4)
+        assert captured.stats.records == 0
+        assert captured.stats.fallbacks >= 1
+
+    def test_resolver_names(self):
+        assert resolve_inference_backend("eager").name == "eager"
+        assert resolve_inference_backend("captured").name == "captured"
+        backend = CapturedInference()
+        assert resolve_inference_backend(backend) is backend
+        with pytest.raises(ValueError):
+            resolve_inference_backend("jit")

@@ -155,6 +155,56 @@ class TestArtifactCache:
         assert not model.training
 
 
+class TestCacheDiskBudget:
+    def test_fresh_write_survives_even_a_tiny_budget(self, tmp_path):
+        cache = ArtifactCache(directory=tmp_path, max_disk_bytes=1)
+        cache.get_defender("simple_cnn", _tiny_config())
+        stats = cache.disk_stats()
+        assert stats["defenders"] == 1  # the hottest entry is never evicted
+        assert cache.stats.evictions == 0
+
+    def test_lru_eviction_drops_the_stalest_archive(self, tmp_path):
+        import os
+        import time
+
+        cache = ArtifactCache(directory=tmp_path, max_disk_bytes=0)  # no eviction yet
+        for epochs in (1, 2, 3):
+            cache.get_defender("simple_cnn", _tiny_config(train_epochs=epochs))
+            time.sleep(0.01)  # distinct mtimes
+        entries = cache._disk_entries()
+        assert len(entries) == 3
+        # Reading the oldest artifact refreshes its LRU clock...
+        reader = ArtifactCache(directory=tmp_path, max_disk_bytes=0)
+        reader.get_defender("simple_cnn", _tiny_config(train_epochs=1))
+        assert reader.stats.disk_hits == 1
+        # ...so a budgeted write evicts epochs=2 (now the stalest), keeping
+        # the artifact that was just read and the one just written.
+        size = max(entry["bytes"] for entry in entries)
+        writer = ArtifactCache(directory=tmp_path, max_disk_bytes=3 * size)
+        writer.get_defender("simple_cnn", _tiny_config(train_epochs=4))
+        remaining = {entry["key"] for entry in writer._disk_entries()}
+        evicted_key = writer.defender_key("simple_cnn", _tiny_config(train_epochs=2))
+        touched_key = writer.defender_key("simple_cnn", _tiny_config(train_epochs=1))
+        assert evicted_key not in remaining
+        assert touched_key in remaining
+        assert len(remaining) == 3
+        assert writer.stats.evictions == 1
+
+    def test_disk_stats_payload(self, tmp_path):
+        cache = ArtifactCache(directory=tmp_path, max_disk_bytes=64 * 1024 * 1024)
+        cache.get_defender("simple_cnn", _tiny_config())
+        stats = cache.disk_stats()
+        assert stats["defenders"] == 1
+        assert stats["total_bytes"] > 0
+        assert stats["budget_bytes"] == 64 * 1024 * 1024
+        assert stats["entries"][0]["model"] == "simple_cnn"
+
+    def test_env_budget_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_BUDGET_MB", "7")
+        cache = ArtifactCache(directory=tmp_path)
+        assert cache.max_disk_bytes == 7 * 1024 * 1024
+
+
 class TestTrainEachDefenderOnce:
     def test_table3_plus_table4_train_each_distinct_defender_once(self, monkeypatch):
         """Acceptance: running Table III then Table IV through one engine

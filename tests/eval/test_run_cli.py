@@ -53,6 +53,24 @@ class TestCli:
         assert "table3_cifar10" in out
         assert "ablation_epsilon" in out
 
+    def test_list_shows_kinds_and_scales(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for line in out.splitlines():
+            if line.startswith("table3_cifar10"):
+                assert "individual" in line
+                assert "tiny/bench/full" in line
+                break
+        else:  # pragma: no cover - the scenario is always registered
+            pytest.fail("table3_cifar10 missing from --list output")
+        assert "serving_throughput" in out
+        assert "federated" in out
+
+    def test_cache_stats_on_empty_directory(self, tmp_path, capsys):
+        assert main(["--cache-stats", "--results-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 cached defender(s)" in out
+
     def test_missing_scenario_is_an_error(self):
         assert main([]) == 2
 

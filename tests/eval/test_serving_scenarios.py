@@ -1,0 +1,93 @@
+"""Engine tests for the serving_throughput / serving_latency_slo scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.engine import (
+    ExperimentEngine,
+    SERVING_SCALES,
+    build_scenario,
+    scenario_catalog,
+)
+from repro.eval.tables import render_run
+from repro.utils.rng import set_global_seed
+
+_TINY = dict(
+    train_per_class=12,
+    test_per_class=6,
+    train_epochs=2,
+    requests=12,
+    max_batch=4,
+    sealed=1,
+)
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    set_global_seed(20230913)
+
+
+class TestServingScenarioRegistry:
+    def test_presets_cover_every_scale(self):
+        assert set(SERVING_SCALES) == {"tiny", "bench", "full"}
+
+    def test_build_routes_overrides(self):
+        scenario = build_scenario(
+            "serving_throughput", scale="tiny", max_batch=16, train_per_class=9
+        )
+        assert scenario.kind == "serving_throughput"
+        assert scenario.params["max_batch"] == 16
+        assert scenario.config.train_per_class == 9
+        assert scenario.params["model"] == "simple_cnn"
+
+    def test_latency_scenario_has_slo_params(self):
+        scenario = build_scenario("serving_latency_slo", scale="tiny")
+        assert scenario.kind == "serving_latency"
+        assert scenario.params["target_us"] > 0
+        assert len(scenario.params["waits"]) >= 2
+
+    def test_catalog_reports_kinds_and_scales(self):
+        rows = {row["name"]: row for row in scenario_catalog()}
+        assert rows["serving_throughput"]["kind"] == "serving_throughput"
+        assert rows["serving_latency_slo"]["kind"] == "serving_latency"
+        assert rows["serving_throughput"]["scales"] == ("tiny", "bench", "full")
+        assert rows["table3_cifar10"]["kind"] == "individual"
+
+
+@pytest.mark.slow
+class TestServingScenarioRuns:
+    def test_throughput_record_and_render(self):
+        engine = ExperimentEngine()
+        record = engine.run("serving_throughput", scale="tiny", **_TINY)
+        results = record.results
+        assert results["parity"]["captured_vs_eager"] is True
+        assert results["parity"]["batched_vs_single"] is True
+        assert results["batched"]["requests"] == _TINY["requests"]
+        assert results["single"]["world_switches_per_request"] == pytest.approx(2.0)
+        assert results["batched"]["world_switches_per_request"] < 2.0
+        assert results["sealed"] == {"requests": 1, "roundtrip_ok": True}
+        assert results["partition"] == [
+            {"stage": "stem", "secure": True},
+            {"stage": "trunk", "secure": False},
+        ]
+        rendered = render_run(record)
+        assert "Serving throughput" in rendered
+        assert "switches/req" in rendered
+
+    def test_latency_record_and_render(self):
+        engine = ExperimentEngine()
+        record = engine.run(
+            "serving_latency_slo", scale="tiny", waits=(0.0, 1000.0), **_TINY
+        )
+        sweep = record.results["sweep"]
+        assert [row["max_wait_us"] for row in sweep] == [0.0, 1000.0]
+        for row in sweep:
+            assert 0.0 <= row["slo_attainment"] <= 1.0
+            assert row["latency_us_p99"] >= row["latency_us_p50"]
+        # With no wait budget every batch is a single request; a budget
+        # amortises the two boundary crossings over larger batches.
+        assert sweep[0]["world_switches_per_request"] >= sweep[1]["world_switches_per_request"]
+        rendered = render_run(record)
+        assert "Serving latency" in rendered
+        assert "SLO" in rendered
