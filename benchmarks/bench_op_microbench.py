@@ -1,0 +1,197 @@
+"""Per-kernel microbenchmarks: eager dispatch vs pooled buffers vs fused replay.
+
+Three execution modes of the same op-registry kernels are timed:
+
+* **eager** — the dispatcher traces a fresh graph per step and every kernel
+  allocates its output (the classic engine behaviour);
+* **pooled** — identical, but a :class:`~repro.autodiff.pool.BufferPool` is
+  active and recycled per step, so elementwise kernels write into reused
+  ``out=`` arrays instead of allocating;
+* **fused replay** — the chain is recorded once and replayed through the
+  capture layer's fused elementwise chains (kernels write the recorded
+  buffers in place; no graph rebuild, no temporaries).
+
+Two hard gates are asserted: the pool stops allocating after the first step
+(pooled-vs-unpooled allocation count), and the fused replay beats the eager
+engine on the elementwise-chain workload that dominates attack inner loops
+and serving forwards.  All numbers land as JSON under ``results/runs`` for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from benchmarks.conftest import RESULTS_DIR, run_once
+from repro.autodiff import (
+    CapturedExecution,
+    EagerExecution,
+    Tensor,
+    TraceHandles,
+    use_buffer_pool,
+)
+from repro.autodiff import functional as F
+from repro.autodiff import ops as op_registry
+
+#: Elementwise-chain workload shape: big enough that kernel time dominates
+#: Python noise, small enough to stay cache-friendly on a laptop.
+_CHAIN_SHAPE = (64, 256)
+_CHAIN_STEPS = 150
+_KERNEL_REPEATS = 300
+
+#: Representative kernels for the per-kernel table (first registered sample
+#: provides shapes and params, scaled up for stable timings).
+_KERNEL_CASES = {
+    "add": (((_CHAIN_SHAPE), (_CHAIN_SHAPE)), {}),
+    "mul": (((_CHAIN_SHAPE), (_CHAIN_SHAPE)), {}),
+    "exp": (((_CHAIN_SHAPE),), {}),
+    "tanh": (((_CHAIN_SHAPE),), {}),
+    "relu": (((_CHAIN_SHAPE),), {}),
+    "gelu": (((_CHAIN_SHAPE),), {}),
+    "sigmoid": (((_CHAIN_SHAPE),), {}),
+    "matmul": (((64, 64), (64, 64)), {}),
+    "conv2d": (((4, 3, 16, 16), (8, 3, 3, 3)), {"stride": 1, "padding": 1}),
+}
+
+
+def _chain_trace():
+    """A pure elementwise chain -> scalar objective (the attack-loop shape)."""
+
+    def trace(array: np.ndarray) -> TraceHandles:
+        x = Tensor(array, requires_grad=True, is_input=True)
+        hidden = ((x * 2.0 + 0.5).tanh().exp() + 1.0).sqrt()
+        objective = (F.sigmoid(hidden) * F.relu(x)).sum()
+        return TraceHandles(objective=objective, input=x)
+
+    return trace
+
+
+def _time_kernels() -> dict:
+    """Per-kernel eager vs pooled dispatch timings (µs per call)."""
+    rng = np.random.default_rng(11)
+    rows: dict[str, dict] = {}
+    for name, (shapes, params) in _KERNEL_CASES.items():
+        tensors = [Tensor(np.abs(rng.normal(size=shape)) + 0.5) for shape in shapes]
+        op_registry.apply(name, tensors, dict(params))  # warm-up (BLAS, caches)
+        start = time.perf_counter()
+        for _ in range(_KERNEL_REPEATS):
+            op_registry.apply(name, tensors, dict(params))
+        eager_seconds = time.perf_counter() - start
+        with use_buffer_pool() as pool:
+            op_registry.apply(name, tensors, dict(params))
+            pool.recycle()
+            start = time.perf_counter()
+            for _ in range(_KERNEL_REPEATS):
+                op_registry.apply(name, tensors, dict(params))
+                pool.recycle()
+            pooled_seconds = time.perf_counter() - start
+        rows[name] = {
+            "eager_us_per_call": eager_seconds / _KERNEL_REPEATS * 1e6,
+            "pooled_us_per_call": pooled_seconds / _KERNEL_REPEATS * 1e6,
+            "pool_allocations": pool.stats.allocations,
+            "pool_reuses": pool.stats.reuses,
+        }
+    return rows
+
+
+def _time_chain() -> dict:
+    """Elementwise-chain gradient queries: eager vs pooled vs fused replay."""
+    rng = np.random.default_rng(13)
+    trace = _chain_trace()
+    batches = [rng.normal(size=_CHAIN_SHAPE) for _ in range(_CHAIN_STEPS)]
+    def best_of(runs: int, step) -> float:
+        """Fastest of ``runs`` timed sweeps — robust to CI scheduling noise."""
+        best = float("inf")
+        for _ in range(runs):
+            start = time.perf_counter()
+            for batch in batches:
+                step(batch)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    eager = EagerExecution()
+    eager.run(trace, batches[0])  # warm-up
+    eager_seconds = best_of(3, lambda batch: eager.run(trace, batch))
+
+    def pooled_step(batch):
+        eager.run(trace, batch)
+        pool.recycle()
+
+    with use_buffer_pool() as pool:
+        pooled_step(batches[0])  # warm the free lists
+        allocations_after_warm_step = pool.stats.allocations
+        pooled_seconds = best_of(3, pooled_step)
+    # The hard pooling gate: a warm pool never allocates again — every step
+    # after the first draws all of its elementwise outputs from the free
+    # lists (unpooled execution allocates the same arrays every step).
+    assert pool.stats.allocations == allocations_after_warm_step, (
+        f"pool kept allocating: {pool.stats.allocations} != {allocations_after_warm_step}"
+    )
+    assert pool.stats.reuses >= (_CHAIN_STEPS - 1) * allocations_after_warm_step
+
+    captured = CapturedExecution()
+    captured.run(trace, batches[0], key="chain")
+    captured.run(trace, batches[1], key="chain")  # records
+    fused_seconds = best_of(3, lambda batch: captured.run(trace, batch, key="chain"))
+    recording = next(iter(captured._recordings.values()))
+    parity = np.array(captured.run(trace, batches[0], key="chain").input.grad)
+    expected = np.array(eager.run(trace, batches[0]).input.grad)
+    assert np.array_equal(parity, expected), "fused replay diverged from eager"
+    return {
+        "shape": list(_CHAIN_SHAPE),
+        "steps": _CHAIN_STEPS,
+        "eager_seconds": eager_seconds,
+        "pooled_seconds": pooled_seconds,
+        "fused_replay_seconds": fused_seconds,
+        "fused_speedup_vs_eager": eager_seconds / max(fused_seconds, 1e-9),
+        "pooled_allocations_per_step": 0,
+        "unpooled_allocations_per_step": allocations_after_warm_step,
+        "pool_stats": pool.stats.as_dict(),
+        "fused_chains": recording.fused_chains,
+        "fused_ops": recording.fused_ops,
+        "queries_per_second": {
+            "eager": _CHAIN_STEPS / eager_seconds,
+            "pooled": _CHAIN_STEPS / pooled_seconds,
+            "fused_replay": _CHAIN_STEPS / fused_seconds,
+        },
+    }
+
+
+def test_op_microbench_and_report(benchmark):
+    """Kernel table + chain workload; fused+pooled must beat eager."""
+    kernels = run_once(benchmark, _time_kernels)
+    chain = _time_chain()
+    print()
+    print(f"{'kernel':<10}{'eager µs':>12}{'pooled µs':>12}")
+    for name, row in kernels.items():
+        print(
+            f"{name:<10}{row['eager_us_per_call']:>12.1f}{row['pooled_us_per_call']:>12.1f}"
+        )
+    print(
+        f"[chain {chain['shape']}] eager {chain['eager_seconds']:.3f}s, "
+        f"pooled {chain['pooled_seconds']:.3f}s, "
+        f"fused replay {chain['fused_replay_seconds']:.3f}s "
+        f"({chain['fused_speedup_vs_eager']:.2f}x, "
+        f"{chain['fused_chains']} chains / {chain['fused_ops']} fused ops)"
+    )
+    # Acceptance gate: the fused replay of the recorded chain beats the
+    # eager engine rebuilding the graph per query.
+    assert chain["fused_replay_seconds"] < chain["eager_seconds"], (
+        "fused replay did not beat eager kernels on the elementwise chain"
+    )
+    assert chain["fused_chains"] >= 1
+    payload = {
+        "scenario": "bench_op_microbench",
+        "kernels": kernels,
+        "elementwise_chain": chain,
+        "parity": "fused replay gradients bit-identical to eager",
+    }
+    runs_dir = RESULTS_DIR / "runs"
+    runs_dir.mkdir(parents=True, exist_ok=True)
+    path = runs_dir / "bench_op_microbench.json"
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"wrote {path}")

@@ -53,6 +53,16 @@ from repro.autodiff.functional import (
 )
 from repro.autodiff.graph import GraphNode, GraphSnapshot
 from repro.autodiff.numeric import numerical_gradient, relative_error
+from repro.autodiff.ops import (
+    GradSample,
+    Op,
+    OpCall,
+    apply,
+    elementwise_ops,
+    registered_ops,
+)
+from repro.autodiff.pool import BufferPool, active_buffer_pool, use_buffer_pool
+from repro.autodiff.profiler import OpProfiler, active_profiler, profile_ops
 from repro.autodiff.tensor import (
     Tensor,
     as_tensor,
@@ -65,22 +75,32 @@ from repro.autodiff.tensor import (
 )
 
 __all__ = [
+    "BufferPool",
     "CapturedExecution",
     "CapturedInference",
     "EXECUTION_BACKENDS",
     "EagerExecution",
     "EagerInference",
+    "GradSample",
     "GraphCaptureError",
     "GraphNode",
     "GraphRecording",
     "GraphSnapshot",
     "InferenceHandles",
     "InferenceRecording",
+    "Op",
+    "OpCall",
+    "OpProfiler",
     "ShieldRegion",
     "Tensor",
     "TraceHandles",
+    "apply",
+    "elementwise_ops",
+    "registered_ops",
     "resolve_execution_backend",
     "resolve_inference_backend",
+    "active_buffer_pool",
+    "active_profiler",
     "active_shield_region",
     "as_tensor",
     "avg_pool2d",
@@ -103,6 +123,7 @@ __all__ = [
     "nll_loss",
     "no_grad",
     "numerical_gradient",
+    "profile_ops",
     "relative_error",
     "relu",
     "set_default_dtype",
@@ -112,4 +133,5 @@ __all__ = [
     "stack",
     "topological_order",
     "unbroadcast",
+    "use_buffer_pool",
 ]

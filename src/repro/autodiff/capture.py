@@ -34,12 +34,14 @@ Replayed logits are bit-identical to an eager forward of the same batch.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Hashable
 
 import numpy as np
 
+from repro.autodiff import profiler as _profiler
 from repro.autodiff.tensor import Tensor, topological_order
 from repro.utils.logging import get_logger
 
@@ -51,6 +53,103 @@ EXECUTION_BACKENDS = ("eager", "captured")
 
 class GraphCaptureError(RuntimeError):
     """A recorded graph cannot be replayed (unsupported op or shape drift)."""
+
+
+class _ReplayNode:
+    """One non-fused replay step: run the thunk, copy into the node's buffer.
+
+    The copy flag is decided lazily on the first replay: view-producing ops
+    (reshape, transpose, basic slicing) return the same memory the node
+    already holds once the parent buffer is refreshed, so copying onto
+    itself is wasted.
+    """
+
+    __slots__ = ("node", "needs_copy")
+
+    def __init__(self, node: Tensor):
+        self.node = node
+        self.needs_copy: bool | None = None
+
+    def run(self) -> None:
+        node = self.node
+        new_value = node.forward_fn()
+        if self.needs_copy is None:
+            self.needs_copy = not (
+                new_value.shape == node.data.shape
+                and new_value.strides == node.data.strides
+                and new_value.__array_interface__["data"][0]
+                == node.data.__array_interface__["data"][0]
+            )
+        if self.needs_copy:
+            np.copyto(node.data, new_value)
+
+
+class _FusedChain:
+    """A run of consecutive elementwise registry ops, replayed in place.
+
+    Each kernel writes directly into its node's persistent buffer through the
+    registry's ``out=`` support: no temporary is allocated and no copy-back
+    happens, and because the kernels execute in the recorded order on the
+    same operand values, the buffers end up bit-identical to the unfused
+    replay.  Backward closures keep reading the same (refreshed) buffers.
+    """
+
+    __slots__ = ("steps",)
+
+    def __init__(self, nodes: list[Tensor]):
+        self.steps = [(node._op_call, node.data) for node in nodes]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def run(self) -> None:
+        for call, out in self.steps:
+            call.kernel(out=out)
+
+
+def _fusable(node: Tensor) -> bool:
+    """Elementwise registry nodes whose kernel can write its buffer in place."""
+    call = node._op_call
+    if call is None or not call.op.elementwise:
+        return False
+    dtypes = [tensor.data.dtype for tensor in call.tensors]
+    result = dtypes[0] if len(dtypes) == 1 else np.result_type(*dtypes)
+    # A dtype mismatch means the eager pass computed in one dtype and cast on
+    # tensor creation; writing through ``out=`` would compute in the output
+    # dtype instead — not bit-identical, so leave the node unfused.
+    return result == node.data.dtype
+
+
+def _build_replay_plan(nodes: list[Tensor]) -> tuple[list, int, int]:
+    """Group consecutive fusable nodes into chains; returns (plan, chains, ops).
+
+    Execution order is preserved exactly — fusion only collapses the
+    per-node Python dispatch (thunk call, temp allocation, copy-back) of a
+    chain into one in-place kernel sweep.
+    """
+    plan: list = []
+    chain: list[Tensor] = []
+    fused_chains = 0
+    fused_ops = 0
+
+    def flush() -> None:
+        nonlocal fused_chains, fused_ops
+        if not chain:
+            return
+        plan.append(_FusedChain(chain))
+        if len(chain) > 1:
+            fused_chains += 1
+            fused_ops += len(chain)
+        chain.clear()
+
+    for node in nodes:
+        if _fusable(node):
+            chain.append(node)
+        else:
+            flush()
+            plan.append(_ReplayNode(node))
+    flush()
+    return plan, fused_chains, fused_ops
 
 
 @dataclass
@@ -91,10 +190,9 @@ class GraphRecording:
                 replay.append(node)
         #: Topological order of the whole graph (grads are reset over it).
         self._order = order
-        #: Input-dependent non-leaf nodes, in forward order, paired with a
-        #: lazily-decided copy flag (False once a node's thunk is known to
-        #: return the identical memory view, e.g. reshape/transpose).
-        self._replay: list[list] = [[node, None] for node in replay]
+        #: Replay plan: consecutive elementwise registry ops are fused into
+        #: in-place chains; everything else replays thunk-then-copy.
+        self._plan, self.fused_chains, self.fused_ops = _build_replay_plan(replay)
         self._reversed = list(reversed(order))
         self._seed = np.ones_like(self.objective.data)
         #: Number of times this recording has been replayed.
@@ -110,22 +208,11 @@ class GraphRecording:
             raise GraphCaptureError(
                 f"replay input shape {inputs.shape} != recorded {self.input.shape}"
             )
+        profiler = _profiler.active_profiler()
+        started = time.perf_counter() if profiler is not None else 0.0
         np.copyto(self.input.data, inputs)
-        for entry in self._replay:
-            node, needs_copy = entry
-            new_value = node.forward_fn()
-            if needs_copy is None:
-                # View-producing ops (reshape, transpose, basic slicing)
-                # return the same memory the node already holds once the
-                # parent buffer is refreshed; copying onto itself is wasted.
-                needs_copy = entry[1] = not (
-                    new_value.shape == node.data.shape
-                    and new_value.strides == node.data.strides
-                    and new_value.__array_interface__["data"][0]
-                    == node.data.__array_interface__["data"][0]
-                )
-            if needs_copy:
-                np.copyto(node.data, new_value)
+        for step in self._plan:
+            step.run()
         for node in self._order:
             node.grad = None
         # Inline of Tensor.backward over the recorded order: same seed, same
@@ -138,6 +225,8 @@ class GraphRecording:
         for obj, attribute, value in self.rebinds:
             setattr(obj, attribute, value)
         self.replays += 1
+        if profiler is not None:
+            profiler.record("captured_replay", time.perf_counter() - started, 0, 0)
         return TraceHandles(objective=self.objective, input=self.input, rebinds=self.rebinds)
 
 
@@ -262,13 +351,13 @@ class InferenceRecording:
                 replay.append(node)
         if self.output.node_id not in dependent:
             raise GraphCaptureError("model output does not depend on the input")
-        #: Input-dependent nodes with the lazily-decided copy flag (see
-        #: :class:`GraphRecording`: view-producing ops skip the copy).
-        self._replay: list[list] = [[node, None] for node in replay]
+        #: Replay plan with fused elementwise chains (see
+        #: :class:`GraphRecording`; the same pass serves both recordings).
+        self._plan, self.fused_chains, self.fused_ops = _build_replay_plan(replay)
         self.replays = 0
 
     def __len__(self) -> int:
-        return len(self._replay)
+        return sum(len(step) if isinstance(step, _FusedChain) else 1 for step in self._plan)
 
     def replay(self, inputs: np.ndarray) -> InferenceHandles:
         """Re-execute the recorded forward pass in place; no tape, no grads."""
@@ -277,24 +366,18 @@ class InferenceRecording:
             raise GraphCaptureError(
                 f"replay input shape {inputs.shape} != recorded {self.input.shape}"
             )
+        profiler = _profiler.active_profiler()
+        started = time.perf_counter() if profiler is not None else 0.0
         np.copyto(self.input.data, inputs)
-        for entry in self._replay:
-            node, needs_copy = entry
-            new_value = node.forward_fn()
-            if needs_copy is None:
-                needs_copy = entry[1] = not (
-                    new_value.shape == node.data.shape
-                    and new_value.strides == node.data.strides
-                    and new_value.__array_interface__["data"][0]
-                    == node.data.__array_interface__["data"][0]
-                )
-            if needs_copy:
-                np.copyto(node.data, new_value)
+        for step in self._plan:
+            step.run()
         for obj, attribute, value in self.rebinds:
             setattr(obj, attribute, value)
         if self.on_replay is not None:
             self.on_replay()
         self.replays += 1
+        if profiler is not None:
+            profiler.record("captured_inference_replay", time.perf_counter() - started, 0, 0)
         return InferenceHandles(
             input=self.input, output=self.output, rebinds=self.rebinds, on_replay=self.on_replay
         )

@@ -1,13 +1,16 @@
 """Differentiable convolution and pooling primitives (im2col based).
 
 Input layout is ``(N, C, H, W)`` throughout, weights are
-``(out_channels, in_channels, kh, kw)``.
+``(out_channels, in_channels, kh, kw)``.  The differentiable ops are
+registered in :mod:`repro.autodiff.ops`; this module holds the im2col /
+col2im geometry helpers their kernels share and the dispatching wrappers.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.autodiff import ops
 from repro.autodiff.tensor import Tensor
 
 
@@ -65,93 +68,24 @@ def conv2d(
     padding: int = 0,
 ) -> Tensor:
     """2-D cross-correlation (the deep-learning convention for convolution)."""
-    n, c_in, h, w = x.shape
-    c_out, c_in_w, kh, kw = weight.shape
+    _, c_in, _, _ = x.shape
+    _, c_in_w, _, _ = weight.shape
     if c_in != c_in_w:
         raise ValueError(f"input has {c_in} channels but weight expects {c_in_w}")
-    col, out_h, out_w = im2col(x.data, kh, kw, stride, padding)
-    weight_matrix = weight.data.reshape(c_out, -1)
-    out = col @ weight_matrix.T
-    if bias is not None:
-        out = out + bias.data.reshape(1, c_out)
-    data = out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
-    parents = (x, weight) if bias is None else (x, weight, bias)
-
-    def forward_fn() -> np.ndarray:
-        # Refresh the captured ``col`` buffer in place: the backward closure
-        # reads it when accumulating the weight gradient.
-        new_col, _, _ = im2col(x.data, kh, kw, stride, padding)
-        np.copyto(col, new_col)
-        out = col @ weight_matrix.T
-        if bias is not None:
-            out = out + bias.data.reshape(1, c_out)
-        return out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
-
-    def backward_fn(grad: np.ndarray) -> None:
-        grad_matrix = grad.transpose(0, 2, 3, 1).reshape(-1, c_out)
-        # The weight gradient is a full (C_out, C·kh·kw) matmul; skip it (and
-        # the bias reduction) when the parameters are frozen, as during
-        # attack-side input-gradient queries.
-        if bias is not None and bias.requires_grad:
-            bias._accumulate(grad_matrix.sum(axis=0).reshape(bias.shape))
-        if weight.requires_grad:
-            weight._accumulate((grad_matrix.T @ col).reshape(weight.shape))
-        if x.requires_grad:
-            grad_col = grad_matrix @ weight_matrix
-            x._accumulate(col2im(grad_col, x.shape, kh, kw, stride, padding))
-
-    return Tensor._make(data, parents, "conv2d", backward_fn, forward_fn)
+    inputs = (x, weight) if bias is None else (x, weight, bias)
+    return ops.apply("conv2d", inputs, {"stride": stride, "padding": padding})
 
 
 def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     """Max pooling with square windows (no padding)."""
     stride = stride if stride is not None else kernel
-    n, c, h, w = x.shape
-    col, out_h, out_w = im2col(x.data, kernel, kernel, stride, 0)
-    col = col.reshape(-1, c, kernel * kernel)
-    argmax = col.argmax(axis=2)
-    data = col.max(axis=2).reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
-
-    def forward_fn() -> np.ndarray:
-        new_col, _, _ = im2col(x.data, kernel, kernel, stride, 0)
-        new_col = new_col.reshape(-1, c, kernel * kernel)
-        # The backward closure routes gradients through ``argmax``; refresh it
-        # in place to match the replayed forward pass.
-        np.copyto(argmax, new_col.argmax(axis=2))
-        return new_col.max(axis=2).reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
-
-    def backward_fn(grad: np.ndarray) -> None:
-        grad_flat = grad.transpose(0, 2, 3, 1).reshape(-1, c)
-        grad_col = np.zeros((grad_flat.shape[0], c, kernel * kernel), dtype=grad.dtype)
-        rows = np.arange(grad_flat.shape[0])[:, None]
-        cols = np.arange(c)[None, :]
-        grad_col[rows, cols, argmax] = grad_flat
-        grad_col = grad_col.reshape(grad_flat.shape[0], c * kernel * kernel)
-        x._accumulate(col2im(grad_col, x.shape, kernel, kernel, stride, 0))
-
-    return Tensor._make(data, (x,), "max_pool2d", backward_fn, forward_fn)
+    return ops.apply("max_pool2d", (x,), {"kernel": kernel, "stride": stride})
 
 
 def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     """Average pooling with square windows (no padding)."""
     stride = stride if stride is not None else kernel
-    n, c, h, w = x.shape
-    col, out_h, out_w = im2col(x.data, kernel, kernel, stride, 0)
-    col = col.reshape(-1, c, kernel * kernel)
-    data = col.mean(axis=2).reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
-
-    def forward_fn() -> np.ndarray:
-        new_col, _, _ = im2col(x.data, kernel, kernel, stride, 0)
-        new_col = new_col.reshape(-1, c, kernel * kernel)
-        return new_col.mean(axis=2).reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
-
-    def backward_fn(grad: np.ndarray) -> None:
-        grad_flat = grad.transpose(0, 2, 3, 1).reshape(-1, c)
-        grad_col = np.repeat(grad_flat[:, :, None], kernel * kernel, axis=2) / (kernel * kernel)
-        grad_col = grad_col.reshape(grad_flat.shape[0], c * kernel * kernel)
-        x._accumulate(col2im(grad_col, x.shape, kernel, kernel, stride, 0))
-
-    return Tensor._make(data, (x,), "avg_pool2d", backward_fn, forward_fn)
+    return ops.apply("avg_pool2d", (x,), {"kernel": kernel, "stride": stride})
 
 
 def global_avg_pool2d(x: Tensor) -> Tensor:

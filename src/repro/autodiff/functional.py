@@ -1,102 +1,42 @@
 """Differentiable functions built on top of :class:`repro.autodiff.Tensor`.
 
 These cover the activation functions, normalised exponentials and losses used
-by the model zoo, plus a handful of helpers the attack suite relies on.
+by the model zoo, plus a handful of helpers the attack suite relies on.  The
+kernels themselves are declarative entries in the :mod:`repro.autodiff.ops`
+registry; the functions here validate arguments and dispatch.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.autodiff import ops
 from repro.autodiff.tensor import Tensor
-
-_SQRT_2_OVER_PI = float(np.sqrt(2.0 / np.pi))
 
 
 def relu(x: Tensor) -> Tensor:
     """Rectified linear unit."""
-
-    def forward_fn() -> np.ndarray:
-        return np.maximum(x.data, 0.0)
-
-    def backward_fn(grad: np.ndarray) -> None:
-        x._accumulate(grad * (x.data > 0.0))
-
-    return Tensor._make(forward_fn(), (x,), "relu", backward_fn, forward_fn)
+    return ops.apply("relu", (x,))
 
 
 def sigmoid(x: Tensor) -> Tensor:
     """Logistic sigmoid."""
-    # ``data`` is the tensor's own buffer; captured-graph replay refreshes it
-    # in place, so the backward closure always reads the current value.
-    data = 1.0 / (1.0 + np.exp(-x.data))
-
-    def forward_fn() -> np.ndarray:
-        return 1.0 / (1.0 + np.exp(-x.data))
-
-    def backward_fn(grad: np.ndarray) -> None:
-        x._accumulate(grad * data * (1.0 - data))
-
-    return Tensor._make(data, (x,), "sigmoid", backward_fn, forward_fn)
+    return ops.apply("sigmoid", (x,))
 
 
 def gelu(x: Tensor) -> Tensor:
     """Gaussian error linear unit (tanh approximation, as used by ViT)."""
-    u = _SQRT_2_OVER_PI * (x.data + 0.044715 * x.data**3)
-    t = np.tanh(u)
-    data = 0.5 * x.data * (1.0 + t)
-
-    def forward_fn() -> np.ndarray:
-        # Refresh the captured ``t`` in place so the backward closure stays
-        # consistent with the replayed forward pass.
-        np.copyto(t, np.tanh(_SQRT_2_OVER_PI * (x.data + 0.044715 * x.data**3)))
-        return 0.5 * x.data * (1.0 + t)
-
-    def backward_fn(grad: np.ndarray) -> None:
-        du_dx = _SQRT_2_OVER_PI * (1.0 + 3.0 * 0.044715 * x.data**2)
-        dt_dx = (1.0 - t**2) * du_dx
-        local = 0.5 * (1.0 + t) + 0.5 * x.data * dt_dx
-        x._accumulate(grad * local)
-
-    return Tensor._make(data, (x,), "gelu", backward_fn, forward_fn)
+    return ops.apply("gelu", (x,))
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    exps = np.exp(shifted)
-    data = exps / exps.sum(axis=axis, keepdims=True)
-
-    def forward_fn() -> np.ndarray:
-        shifted = x.data - x.data.max(axis=axis, keepdims=True)
-        exps = np.exp(shifted)
-        return exps / exps.sum(axis=axis, keepdims=True)
-
-    def backward_fn(grad: np.ndarray) -> None:
-        dot = (grad * data).sum(axis=axis, keepdims=True)
-        x._accumulate(data * (grad - dot))
-
-    return Tensor._make(data, (x,), "softmax", backward_fn, forward_fn)
+    return ops.apply("softmax", (x,), {"axis": axis})
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax along ``axis``."""
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    data = shifted - log_norm
-    probs = np.exp(data)
-
-    def forward_fn() -> np.ndarray:
-        shifted = x.data - x.data.max(axis=axis, keepdims=True)
-        log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-        new_data = shifted - log_norm
-        np.copyto(probs, np.exp(new_data))
-        return new_data
-
-    def backward_fn(grad: np.ndarray) -> None:
-        x._accumulate(grad - probs * grad.sum(axis=axis, keepdims=True))
-
-    return Tensor._make(data, (x,), "log_softmax", backward_fn, forward_fn)
+    return ops.apply("log_softmax", (x,), {"axis": axis})
 
 
 def nll_loss(log_probs: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
@@ -105,34 +45,10 @@ def nll_loss(log_probs: Tensor, targets: np.ndarray, reduction: str = "mean") ->
     ``log_probs`` has shape ``(batch, classes)``; ``targets`` is an integer
     array of shape ``(batch,)``.
     """
-    targets = np.asarray(targets, dtype=np.int64)
-    batch = log_probs.shape[0]
-    if reduction == "mean":
-        scale = 1.0 / batch
-    elif reduction == "sum":
-        scale = 1.0
-    elif reduction == "none":
-        scale = None
-    else:
+    if reduction not in ("mean", "sum", "none"):
         raise ValueError(f"unknown reduction {reduction!r}")
-
-    def forward_fn() -> np.ndarray:
-        picked = log_probs.data[np.arange(batch), targets]
-        if reduction == "mean":
-            return np.asarray(-picked.mean())
-        if reduction == "sum":
-            return np.asarray(-picked.sum())
-        return -picked
-
-    def backward_fn(grad: np.ndarray) -> None:
-        full = np.zeros_like(log_probs.data)
-        if scale is None:
-            full[np.arange(batch), targets] = -np.asarray(grad).reshape(batch)
-        else:
-            full[np.arange(batch), targets] = -float(np.asarray(grad).reshape(-1)[0]) * scale
-        log_probs._accumulate(full)
-
-    return Tensor._make(forward_fn(), (log_probs,), "nll_loss", backward_fn, forward_fn)
+    targets = np.asarray(targets, dtype=np.int64)
+    return ops.apply("nll_loss", (log_probs,), {"targets": targets, "reduction": reduction})
 
 
 def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
@@ -149,37 +65,9 @@ def margin_loss(logits: Tensor, targets: np.ndarray, confidence: float = 0.0) ->
     with respect to each sample is independent of the others.
     """
     targets = np.asarray(targets, dtype=np.int64)
-    batch, _ = logits.shape
-    rows = np.arange(batch)
-    target_logits = logits.data[rows, targets]
-    masked = logits.data.copy()
-    masked[rows, targets] = -np.inf
-    best_other = masked.argmax(axis=1)
-    other_logits = logits.data[rows, best_other]
-    per_sample = other_logits - target_logits
-    active = per_sample > -confidence
-    value = np.where(active, per_sample, -confidence).sum()
-
-    def forward_fn() -> np.ndarray:
-        # Refresh the captured ``best_other`` / ``active`` index arrays in
-        # place so the backward closure matches the replayed forward pass.
-        target_logits = logits.data[rows, targets]
-        masked = logits.data.copy()
-        masked[rows, targets] = -np.inf
-        np.copyto(best_other, masked.argmax(axis=1))
-        other_logits = logits.data[rows, best_other]
-        per_sample = other_logits - target_logits
-        np.copyto(active, per_sample > -confidence)
-        return np.asarray(np.where(active, per_sample, -confidence).sum())
-
-    def backward_fn(grad: np.ndarray) -> None:
-        g = float(np.asarray(grad).reshape(-1)[0])
-        full = np.zeros_like(logits.data)
-        full[rows[active], best_other[active]] += g
-        full[rows[active], targets[active]] -= g
-        logits._accumulate(full)
-
-    return Tensor._make(np.asarray(value), (logits,), "margin_loss", backward_fn, forward_fn)
+    return ops.apply(
+        "margin_loss", (logits,), {"targets": targets, "confidence": float(confidence)}
+    )
 
 
 def mse_loss(prediction: Tensor, target: np.ndarray | Tensor, reduction: str = "mean") -> Tensor:
@@ -197,15 +85,12 @@ def mse_loss(prediction: Tensor, target: np.ndarray | Tensor, reduction: str = "
 
 
 def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool = True) -> Tensor:
-    """Inverted dropout; identity when not training or ``rate == 0``."""
+    """Inverted dropout; identity when not training or ``rate == 0``.
+
+    The mask is redrawn per call, so a training-mode dropout graph cannot be
+    replayed (the op is registered non-replayable and the captured backend
+    falls back to eager).
+    """
     if not training or rate <= 0.0:
         return x
-    keep = 1.0 - rate
-    mask = (rng.random(x.shape) < keep).astype(x.dtype) / keep
-
-    def backward_fn(grad: np.ndarray) -> None:
-        x._accumulate(grad * mask)
-
-    # No forward_fn: the mask is redrawn per call, so a training-mode dropout
-    # graph cannot be replayed (the captured backend falls back to eager).
-    return Tensor._make(x.data * mask, (x,), "dropout", backward_fn)
+    return ops.apply("dropout", (x,), {"rate": rate, "rng": rng})

@@ -15,6 +15,19 @@ from dataclasses import dataclass, field
 from repro.autodiff.tensor import Tensor, topological_order
 
 
+def _node_cost(tensor: Tensor) -> tuple[int, int]:
+    """Forward (flops, bytes moved) of one node, from its op-call metadata."""
+    call = tensor._op_call
+    if call is None:
+        return 0, 0
+    return call.op.cost_of(
+        tuple(parent.shape for parent in tensor.parents),
+        tensor.shape,
+        call.params,
+        tensor.dtype.itemsize,
+    )
+
+
 @dataclass
 class GraphNode:
     """A vertex of the materialised computational graph."""
@@ -29,6 +42,13 @@ class GraphNode:
     shielded: bool
     nbytes: int
     tensor: Tensor = field(repr=False)
+    #: Whether the tensor was created inside a shield region (stable, unlike
+    #: ``shielded`` which the partition clears on the frontier).
+    created_shielded: bool = False
+    #: Forward cost of producing this node, from the op registry's kernel
+    #: metadata (zero for leaves and externally-built closure ops).
+    flops: int = 0
+    bytes_moved: int = 0
 
     @property
     def is_transform(self) -> bool:
@@ -45,6 +65,7 @@ class GraphSnapshot:
         self._children: dict[int, list[int]] = {}
         self._order: list[int] = []
         for tensor in topological_order(output):
+            flops, bytes_moved = _node_cost(tensor)
             node = GraphNode(
                 node_id=tensor.node_id,
                 op=tensor.op,
@@ -56,6 +77,9 @@ class GraphSnapshot:
                 shielded=tensor.shielded,
                 nbytes=tensor.nbytes,
                 tensor=tensor,
+                created_shielded=getattr(tensor, "created_shielded", tensor.shielded),
+                flops=flops,
+                bytes_moved=bytes_moved,
             )
             self._nodes[node.node_id] = node
             self._order.append(node.node_id)
@@ -150,3 +174,22 @@ class GraphSnapshot:
     def shielded_ids(self) -> set[int]:
         """Ids of every node currently flagged as shielded."""
         return {node.node_id for node in self.nodes() if node.shielded}
+
+    # ------------------------------------------------------------------ #
+    # Cost accounting from op-registry metadata
+    # ------------------------------------------------------------------ #
+    def total_flops(self) -> int:
+        """Forward FLOPs of the whole graph, from the kernels' cost rules."""
+        return sum(node.flops for node in self.nodes())
+
+    def op_costs(self) -> dict[str, dict[str, int]]:
+        """Per-op totals (count, flops, bytes moved) over the snapshot."""
+        totals: dict[str, dict[str, int]] = {}
+        for node in self.transforms():
+            entry = totals.setdefault(
+                node.op, {"count": 0, "flops": 0, "bytes_moved": 0}
+            )
+            entry["count"] += 1
+            entry["flops"] += node.flops
+            entry["bytes_moved"] += node.bytes_moved
+        return totals

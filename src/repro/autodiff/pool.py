@@ -1,0 +1,120 @@
+"""Pooled ``out=`` buffers for the op dispatcher and captured replays.
+
+Step loops (attack iterations, serving forwards, training steps) allocate the
+same (shape, dtype) arrays over and over: every elementwise op output is a
+fresh ``np.empty`` the previous step already owned.  A :class:`BufferPool`
+keeps free lists keyed by (shape, dtype) and hands the same arrays back out,
+turning per-step allocation into per-step reuse.
+
+The pool is an *arena with explicit generations*: :meth:`acquire` hands out a
+buffer and remembers it; :meth:`recycle` returns every outstanding buffer to
+the free lists at once.  The caller owns the safety argument — recycle only
+at a point where the previous generation's tensors are dead (e.g. between
+attack steps, after the optimizer consumed the gradients).  Nothing is
+recycled implicitly, so code that never calls :meth:`recycle` just gets
+plain allocation with bookkeeping.
+
+Activate a pool for the current thread with :func:`use_buffer_pool`; the op
+dispatcher (:func:`repro.autodiff.ops.apply`) then feeds elementwise kernels
+pooled ``out=`` arrays whenever the result dtype matches the engine default
+(mixed-dtype calls keep the compute-then-cast semantics untouched).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class PoolStats:
+    """Counters exposed for tests and the op microbench."""
+
+    allocations: int = 0
+    reuses: int = 0
+    recycles: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "allocations": self.allocations,
+            "reuses": self.reuses,
+            "recycles": self.recycles,
+        }
+
+
+class BufferPool:
+    """Reusable ``np.empty`` arrays keyed by (shape, dtype).
+
+    Not thread-safe by design: a pool belongs to one step loop on one thread
+    (activate per-thread with :func:`use_buffer_pool`).
+    """
+
+    def __init__(self) -> None:
+        self._free: dict[tuple, list[np.ndarray]] = {}
+        self._outstanding: list[np.ndarray] = []
+        self.stats = PoolStats()
+
+    def acquire(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """An uninitialised buffer of the requested shape and dtype."""
+        key = (tuple(shape), np.dtype(dtype).str)
+        free = self._free.get(key)
+        if free:
+            buffer = free.pop()
+            self.stats.reuses += 1
+        else:
+            buffer = np.empty(shape, dtype=dtype)
+            self.stats.allocations += 1
+        self._outstanding.append(buffer)
+        return buffer
+
+    def release(self, buffer: np.ndarray) -> None:
+        """Return one buffer to its free list (rare; prefer :meth:`recycle`)."""
+        key = (buffer.shape, buffer.dtype.str)
+        self._free.setdefault(key, []).append(buffer)
+
+    def recycle(self) -> int:
+        """Return every outstanding buffer to the free lists; ends a step.
+
+        The caller asserts the previous generation's arrays are no longer
+        referenced by live tensors it still needs.  Returns how many buffers
+        were recycled.
+        """
+        count = len(self._outstanding)
+        for buffer in self._outstanding:
+            self.release(buffer)
+        self._outstanding.clear()
+        self.stats.recycles += 1
+        return count
+
+    def __len__(self) -> int:
+        return sum(len(free) for free in self._free.values()) + len(self._outstanding)
+
+
+class _PoolState(threading.local):
+    def __init__(self) -> None:
+        self.pool: BufferPool | None = None
+
+
+_STATE = _PoolState()
+
+
+def active_buffer_pool() -> BufferPool | None:
+    """The pool the dispatcher should draw ``out=`` buffers from, if any."""
+    return _STATE.pool
+
+
+class use_buffer_pool:
+    """Context manager activating a :class:`BufferPool` for this thread."""
+
+    def __init__(self, pool: BufferPool | None = None) -> None:
+        self.pool = pool if pool is not None else BufferPool()
+
+    def __enter__(self) -> BufferPool:
+        self._previous = _STATE.pool
+        _STATE.pool = self.pool
+        return self.pool
+
+    def __exit__(self, *exc_info) -> None:
+        _STATE.pool = self._previous

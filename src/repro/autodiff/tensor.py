@@ -8,19 +8,26 @@ about, so tensors also carry the metadata that algorithm needs: a stable node
 id, the name of the operation that produced them, whether they are model
 inputs or parameters, and whether they were produced inside a shielded (TEE)
 region.
+
+The operations themselves live in the :mod:`repro.autodiff.ops` registry;
+the methods below are thin dispatchers through it.  One code path
+(:func:`repro.autodiff.ops.apply`) runs the kernel, builds the node, wires
+the backward closure and registers the capture thunk for every op.
 """
 
 from __future__ import annotations
 
 import itertools
 import os
-from typing import Callable, Iterable, Sequence
+import warnings
+from typing import TYPE_CHECKING, Callable, Sequence, TypeAlias
 
 import numpy as np
 
 from repro.autodiff.context import active_shield_region, is_grad_enabled
 
-DEFAULT_DTYPE = np.float64
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.autodiff.ops import OpCall
 
 _DTYPE_ALIASES = {
     "float32": np.float32,
@@ -48,8 +55,9 @@ def _resolve_dtype(dtype) -> np.dtype:
 
 #: Process-wide default floating dtype, overridable with REPRO_DTYPE=float32
 #: (float64 keeps the numeric-gradient test tolerances; float32 halves memory
-#: and speeds up the NumPy kernels at bench scale).
-_DEFAULT_DTYPE = _resolve_dtype(os.environ.get("REPRO_DTYPE", DEFAULT_DTYPE))
+#: and speeds up the NumPy kernels at bench scale).  This is the single
+#: source of truth — read it through :func:`get_default_dtype`.
+_DEFAULT_DTYPE = _resolve_dtype(os.environ.get("REPRO_DTYPE", "float64"))
 
 
 def get_default_dtype() -> np.dtype:
@@ -70,7 +78,19 @@ def set_default_dtype(dtype) -> np.dtype:
 
 _NODE_COUNTER = itertools.count()
 
-ArrayLike = "np.ndarray | float | int | list | tuple | Tensor"
+#: Resolved lazily on first dispatch to avoid a circular import (ops.py
+#: registers kernels against this module's Tensor class).
+_OPS_APPLY: Callable | None = None
+
+
+def _dispatch(op: str, inputs: Sequence, params: dict | None = None) -> "Tensor":
+    """Apply a registered op through :func:`repro.autodiff.ops.apply`."""
+    global _OPS_APPLY
+    if _OPS_APPLY is None:
+        from repro.autodiff.ops import apply as ops_apply
+
+        _OPS_APPLY = ops_apply
+    return _OPS_APPLY(op, inputs, params)
 
 
 def _as_array(value, dtype=None) -> np.ndarray:
@@ -99,7 +119,7 @@ class Tensor:
     Parameters
     ----------
     data:
-        The numeric payload (converted to ``float64`` by default).
+        The numeric payload (converted to the default dtype).
     requires_grad:
         Whether gradients should be accumulated into ``self.grad`` during
         :meth:`backward`.
@@ -122,7 +142,7 @@ class Tensor:
 
     def __init__(
         self,
-        data,
+        data: "ArrayLike",
         requires_grad: bool = False,
         parents: Sequence["Tensor"] = (),
         op: str = "leaf",
@@ -146,8 +166,19 @@ class Tensor:
         #: graph without rebuilding it; ``None`` on leaves and on ops that
         #: cannot be replayed (e.g. training-mode dropout).
         self.forward_fn: Callable[[], np.ndarray] | None = None
+        #: The registry dispatch that produced this node (None on leaves and
+        #: on nodes built through the deprecated closure path); the capture
+        #: layer uses it to fuse elementwise chains, and the cost model reads
+        #: its op metadata.
+        self._op_call: "OpCall | None" = None
         region = active_shield_region()
         self.shielded = region is not None
+        #: Whether the tensor was *created* inside a shield region.  Unlike
+        #: ``shielded`` this never changes: the partition clears ``shielded``
+        #: on the frontier when its value crosses to the normal world, but
+        #: the enclave still paid for producing it — the worst-case memory
+        #: accounting of Table I keys on this flag.
+        self.created_shielded = self.shielded
         if region is not None:
             region.register(self)
 
@@ -201,10 +232,10 @@ class Tensor:
         self.grad = None
 
     # ------------------------------------------------------------------ #
-    # Graph construction helper
+    # Graph construction helpers
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _make(
+    def _from_op(
         data: np.ndarray,
         parents: Sequence["Tensor"],
         op: str,
@@ -218,6 +249,29 @@ class Tensor:
             out.backward_fn = backward_fn
         out.forward_fn = forward_fn
         return out
+
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        op: str,
+        backward_fn: Callable[[np.ndarray], None] | None,
+        forward_fn: Callable[[], np.ndarray] | None = None,
+    ) -> "Tensor":
+        """Deprecated closure-based node constructor (kept for external code).
+
+        In-tree ops are declarative :class:`repro.autodiff.ops.Op` entries
+        dispatched through :func:`repro.autodiff.ops.apply`; third-party
+        code still building raw closure ops keeps working through this shim.
+        """
+        warnings.warn(
+            "Tensor._make is deprecated; register a declarative Op in the "
+            "repro.autodiff.ops registry and dispatch it through "
+            "repro.autodiff.ops.apply",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return Tensor._from_op(data, parents, op, backward_fn, forward_fn)
 
     def _accumulate(self, grad: np.ndarray) -> None:
         """Accumulate an incoming gradient contribution on this tensor."""
@@ -252,252 +306,83 @@ class Tensor:
             node.backward_fn(node.grad)
 
     # ------------------------------------------------------------------ #
-    # Arithmetic operations
+    # Arithmetic operations (dispatched through the op registry)
     # ------------------------------------------------------------------ #
     def __add__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
-
-        def forward_fn() -> np.ndarray:
-            return self.data + other.data
-
-        def backward_fn(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(unbroadcast(grad, self.shape))
-            if other.requires_grad:
-                other._accumulate(unbroadcast(grad, other.shape))
-
-        return Tensor._make(forward_fn(), (self, other), "add", backward_fn, forward_fn)
+        return _dispatch("add", (self, other))
 
     def __radd__(self, other) -> "Tensor":
         return self.__add__(other)
 
     def __sub__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
-
-        def forward_fn() -> np.ndarray:
-            return self.data - other.data
-
-        def backward_fn(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(unbroadcast(grad, self.shape))
-            if other.requires_grad:
-                other._accumulate(unbroadcast(-grad, other.shape))
-
-        return Tensor._make(forward_fn(), (self, other), "sub", backward_fn, forward_fn)
+        return _dispatch("sub", (self, other))
 
     def __rsub__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
-        return other.__sub__(self)
+        return _dispatch("sub", (other, self))
 
     def __mul__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
-
-        def forward_fn() -> np.ndarray:
-            return self.data * other.data
-
-        def backward_fn(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(unbroadcast(grad * other.data, self.shape))
-            if other.requires_grad:
-                other._accumulate(unbroadcast(grad * self.data, other.shape))
-
-        return Tensor._make(forward_fn(), (self, other), "mul", backward_fn, forward_fn)
+        return _dispatch("mul", (self, other))
 
     def __rmul__(self, other) -> "Tensor":
         return self.__mul__(other)
 
     def __truediv__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
-
-        def forward_fn() -> np.ndarray:
-            return self.data / other.data
-
-        def backward_fn(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(unbroadcast(grad / other.data, self.shape))
-            if other.requires_grad:
-                other._accumulate(
-                    unbroadcast(-grad * self.data / (other.data**2), other.shape)
-                )
-
-        return Tensor._make(forward_fn(), (self, other), "div", backward_fn, forward_fn)
+        return _dispatch("div", (self, other))
 
     def __rtruediv__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
-        return other.__truediv__(self)
+        return _dispatch("div", (other, self))
 
     def __neg__(self) -> "Tensor":
-        def forward_fn() -> np.ndarray:
-            return -self.data
-
-        def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(-grad)
-
-        return Tensor._make(forward_fn(), (self,), "neg", backward_fn, forward_fn)
+        return _dispatch("neg", (self,))
 
     def __pow__(self, exponent: float) -> "Tensor":
         if isinstance(exponent, Tensor):
             raise TypeError("tensor exponents are not supported; use a Python scalar")
-        power = float(exponent)
-
-        def forward_fn() -> np.ndarray:
-            return self.data**power
-
-        def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(grad * power * self.data ** (power - 1.0))
-
-        return Tensor._make(forward_fn(), (self,), "pow", backward_fn, forward_fn)
+        return _dispatch("pow", (self,), {"power": float(exponent)})
 
     def __matmul__(self, other) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
         if self.ndim < 2 or other.ndim < 2:
             raise ValueError("matmul requires operands with at least 2 dimensions")
-
-        def forward_fn() -> np.ndarray:
-            return np.matmul(self.data, other.data)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            # Each operand's gradient is a full matmul; skip the ones nobody
-            # will read (e.g. frozen parameters during attack queries).
-            if self.requires_grad:
-                grad_self = np.matmul(grad, np.swapaxes(other.data, -1, -2))
-                self._accumulate(unbroadcast(grad_self, self.shape))
-            if other.requires_grad:
-                grad_other = np.matmul(np.swapaxes(self.data, -1, -2), grad)
-                other._accumulate(unbroadcast(grad_other, other.shape))
-
-        return Tensor._make(forward_fn(), (self, other), "matmul", backward_fn, forward_fn)
+        return _dispatch("matmul", (self, other))
 
     # ------------------------------------------------------------------ #
     # Elementwise unary operations
     # ------------------------------------------------------------------ #
     def exp(self) -> "Tensor":
-        # ``data`` is the tensor's own buffer: replay refreshes it in place,
-        # so the backward closure always reads the current forward value.
-        data = np.exp(self.data)
-
-        def forward_fn() -> np.ndarray:
-            return np.exp(self.data)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(grad * data)
-
-        return Tensor._make(data, (self,), "exp", backward_fn, forward_fn)
+        return _dispatch("exp", (self,))
 
     def log(self) -> "Tensor":
-        def forward_fn() -> np.ndarray:
-            return np.log(self.data)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(grad / self.data)
-
-        return Tensor._make(forward_fn(), (self,), "log", backward_fn, forward_fn)
+        return _dispatch("log", (self,))
 
     def sqrt(self) -> "Tensor":
-        data = np.sqrt(self.data)
-
-        def forward_fn() -> np.ndarray:
-            return np.sqrt(self.data)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(grad * 0.5 / np.maximum(data, 1e-12))
-
-        return Tensor._make(data, (self,), "sqrt", backward_fn, forward_fn)
+        return _dispatch("sqrt", (self,))
 
     def tanh(self) -> "Tensor":
-        data = np.tanh(self.data)
-
-        def forward_fn() -> np.ndarray:
-            return np.tanh(self.data)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(grad * (1.0 - data**2))
-
-        return Tensor._make(data, (self,), "tanh", backward_fn, forward_fn)
+        return _dispatch("tanh", (self,))
 
     def abs(self) -> "Tensor":
-        def forward_fn() -> np.ndarray:
-            return np.abs(self.data)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(grad * np.sign(self.data))
-
-        return Tensor._make(forward_fn(), (self,), "abs", backward_fn, forward_fn)
+        return _dispatch("abs", (self,))
 
     def maximum(self, threshold: float) -> "Tensor":
         """Elementwise maximum with a scalar (used to build ReLU)."""
-        value = float(threshold)
-
-        def forward_fn() -> np.ndarray:
-            return np.maximum(self.data, value)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(grad * (self.data > value))
-
-        return Tensor._make(forward_fn(), (self,), "maximum", backward_fn, forward_fn)
+        return _dispatch("maximum", (self,), {"value": float(threshold)})
 
     def minimum(self, threshold: float) -> "Tensor":
         """Elementwise minimum with a scalar."""
-        value = float(threshold)
-
-        def forward_fn() -> np.ndarray:
-            return np.minimum(self.data, value)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(grad * (self.data < value))
-
-        return Tensor._make(forward_fn(), (self,), "minimum", backward_fn, forward_fn)
+        return _dispatch("minimum", (self,), {"value": float(threshold)})
 
     # ------------------------------------------------------------------ #
     # Reductions
     # ------------------------------------------------------------------ #
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        def forward_fn() -> np.ndarray:
-            return self.data.sum(axis=axis, keepdims=keepdims)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            expanded = grad
-            if axis is not None and not keepdims:
-                expanded = np.expand_dims(grad, axis)
-            self._accumulate(np.broadcast_to(expanded, self.shape).copy())
-
-        return Tensor._make(forward_fn(), (self,), "sum", backward_fn, forward_fn)
+        return _dispatch("sum", (self,), {"axis": axis, "keepdims": keepdims})
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
-        def forward_fn() -> np.ndarray:
-            return self.data.mean(axis=axis, keepdims=keepdims)
-
-        if axis is None:
-            count = self.data.size
-        else:
-            axes = axis if isinstance(axis, tuple) else (axis,)
-            count = int(np.prod([self.shape[a] for a in axes]))
-
-        def backward_fn(grad: np.ndarray) -> None:
-            expanded = grad
-            if axis is not None and not keepdims:
-                expanded = np.expand_dims(grad, axis)
-            self._accumulate(np.broadcast_to(expanded, self.shape).copy() / count)
-
-        return Tensor._make(forward_fn(), (self,), "mean", backward_fn, forward_fn)
+        return _dispatch("mean", (self,), {"axis": axis, "keepdims": keepdims})
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
-        data = self.data.max(axis=axis, keepdims=keepdims)
-
-        def forward_fn() -> np.ndarray:
-            return self.data.max(axis=axis, keepdims=keepdims)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            expanded_grad = grad
-            expanded_data = data
-            if axis is not None and not keepdims:
-                expanded_grad = np.expand_dims(grad, axis)
-                expanded_data = np.expand_dims(data, axis)
-            mask = (self.data == expanded_data).astype(self.data.dtype)
-            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
-            self._accumulate(mask * expanded_grad / counts)
-
-        return Tensor._make(data, (self,), "max", backward_fn, forward_fn)
+        return _dispatch("max", (self,), {"axis": axis, "keepdims": keepdims})
 
     # ------------------------------------------------------------------ #
     # Shape operations
@@ -505,26 +390,12 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-
-        def forward_fn() -> np.ndarray:
-            return self.data.reshape(shape)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(grad.reshape(self.shape))
-
-        return Tensor._make(forward_fn(), (self,), "reshape", backward_fn, forward_fn)
+        return _dispatch("reshape", (self,), {"shape": shape})
 
     def transpose(self, axes: Sequence[int]) -> "Tensor":
         axes = tuple(axes)
-        inverse = tuple(np.argsort(axes))
-
-        def forward_fn() -> np.ndarray:
-            return self.data.transpose(axes)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(grad.transpose(inverse))
-
-        return Tensor._make(forward_fn(), (self,), "transpose", backward_fn, forward_fn)
+        inverse = tuple(int(i) for i in np.argsort(axes))
+        return _dispatch("transpose", (self,), {"axes": axes, "inverse": inverse})
 
     def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
         axes = list(range(self.ndim))
@@ -532,63 +403,22 @@ class Tensor:
         return self.transpose(axes)
 
     def __getitem__(self, index) -> "Tensor":
-        def forward_fn() -> np.ndarray:
-            return self.data[index]
-
-        def backward_fn(grad: np.ndarray) -> None:
-            full = np.zeros_like(self.data)
-            np.add.at(full, index, grad)
-            self._accumulate(full)
-
-        return Tensor._make(forward_fn(), (self,), "getitem", backward_fn, forward_fn)
+        return _dispatch("getitem", (self,), {"index": index})
 
     def pad(self, pad_width: Sequence[tuple[int, int]]) -> "Tensor":
         """Zero-pad the tensor; ``pad_width`` follows :func:`numpy.pad`."""
         pad_width = tuple((int(a), int(b)) for a, b in pad_width)
-        slices = tuple(
-            slice(before, before + dim) for (before, _), dim in zip(pad_width, self.shape)
-        )
-
-        def forward_fn() -> np.ndarray:
-            return np.pad(self.data, pad_width)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(grad[slices])
-
-        return Tensor._make(forward_fn(), (self,), "pad", backward_fn, forward_fn)
+        return _dispatch("pad", (self,), {"pad_width": pad_width})
 
 
 def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient support."""
-    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
-    sizes = [t.shape[axis] for t in tensors]
-    offsets = np.cumsum([0] + sizes)
-
-    def forward_fn() -> np.ndarray:
-        return np.concatenate([t.data for t in tensors], axis=axis)
-
-    def backward_fn(grad: np.ndarray) -> None:
-        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
-            slicer = [slice(None)] * grad.ndim
-            slicer[axis] = slice(int(start), int(stop))
-            tensor._accumulate(grad[tuple(slicer)])
-
-    return Tensor._make(forward_fn(), tuple(tensors), "concat", backward_fn, forward_fn)
+    return _dispatch("concat", tuple(tensors), {"axis": axis})
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new axis with gradient support."""
-    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
-
-    def forward_fn() -> np.ndarray:
-        return np.stack([t.data for t in tensors], axis=axis)
-
-    def backward_fn(grad: np.ndarray) -> None:
-        pieces = np.split(grad, len(tensors), axis=axis)
-        for tensor, piece in zip(tensors, pieces):
-            tensor._accumulate(np.squeeze(piece, axis=axis))
-
-    return Tensor._make(forward_fn(), tuple(tensors), "stack", backward_fn, forward_fn)
+    return _dispatch("stack", tuple(tensors), {"axis": axis})
 
 
 def topological_order(root: Tensor) -> list[Tensor]:
@@ -611,8 +441,14 @@ def topological_order(root: Tensor) -> list[Tensor]:
     return order
 
 
-def as_tensor(value, requires_grad: bool = False) -> Tensor:
+def as_tensor(value: "ArrayLike", requires_grad: bool = False) -> Tensor:
     """Coerce ``value`` to a :class:`Tensor` (no copy if already one)."""
     if isinstance(value, Tensor):
         return value
     return Tensor(value, requires_grad=requires_grad)
+
+
+#: Anything the engine accepts where an array is expected (a real alias,
+#: usable with isinstance-free static checkers; defined after Tensor so the
+#: union can reference the class itself).
+ArrayLike: TypeAlias = np.ndarray | float | int | list | tuple | Tensor

@@ -23,6 +23,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.autodiff import ops as op_registry
+from repro.autodiff.tensor import Tensor, topological_order
 from repro.core.shielded_model import ShieldedModel
 from repro.models.paper_configs import PAPER_MODEL_SPECS, PaperBiTSpec, PaperViTSpec
 
@@ -68,22 +70,62 @@ def format_bytes(nbytes: float) -> str:
 # --------------------------------------------------------------------------- #
 # Measurement of bench-scale shielded models
 # --------------------------------------------------------------------------- #
+def graph_shield_bytes(objective: Tensor, include_gradients: bool = True) -> tuple[int, int]:
+    """Resident (value, gradient) bytes of the shielded graph nodes.
+
+    Walks the computational graph of ``objective`` and prices every node the
+    enclave produced (``created_shielded`` — the frontier counts even though
+    its value later crosses to the normal world) through its registered op's
+    :meth:`~repro.autodiff.ops.Op.output_nbytes` metadata — the memory model
+    derives from the kernel declarations, not from parallel bookkeeping.
+    Gradient bytes count one extra copy of every node that requires a
+    gradient, matching the worst-case convention of Table I.  Parameter
+    leaves are excluded (they are the separately-sealed stem parameters).
+
+    For today's dense kernels ``output_nbytes`` coincides with the array's
+    own ``nbytes`` — the test suite pins this walk byte-for-byte against
+    the enclave's runtime region accounting, so the registry rule is the
+    contract an op with a non-dense resident format would override (and
+    the pinned test would then surface the divergence deliberately).
+    """
+    values = 0
+    gradients = 0
+    for node in topological_order(objective):
+        if not node.created_shielded or node.is_parameter:
+            continue
+        if node.parents and node.op in op_registry.REGISTRY:
+            nbytes = op_registry.get(node.op).output_nbytes(node.shape, node.dtype)
+        else:
+            # Leaves and externally-built closure ops carry no op metadata.
+            nbytes = node.nbytes
+        values += nbytes
+        if include_gradients and node.requires_grad:
+            gradients += nbytes
+    return values, gradients
+
+
 def measure_shielded_model(
     shielded: ShieldedModel, inputs: np.ndarray, labels: np.ndarray
 ) -> ShieldMemoryEstimate:
-    """Measure the enclave occupancy of one shielded forward/backward pass."""
+    """Measure the enclave occupancy of one shielded training-style pass.
+
+    The activation and gradient byte counts derive from the op registry's
+    kernel metadata via :func:`graph_shield_bytes`; the enclave's own region
+    accounting (``enclave.memory_report``) remains the byte-accurate runtime
+    guardrail and the two are pinned equal in the test suite.  Gradient
+    bytes follow the worst-case convention (one copy per grad-requiring
+    node), read off the graph's ``requires_grad`` flags — no backward pass
+    needs to run.
+    """
     from repro.autodiff import functional as F
-    from repro.autodiff.tensor import Tensor
 
     input_tensor = Tensor(np.asarray(inputs), requires_grad=True, is_input=True)
     logits = shielded(input_tensor)
     objective = F.cross_entropy(logits, np.asarray(labels), reduction="sum")
-    objective.backward()
-    report = shielded.enclave.memory_report(include_gradients=True)
+    activation_bytes, region_gradient_bytes = graph_shield_bytes(objective)
     stem_parameters = sum(p.size for p in shielded.model.stem_parameters())
     stem_parameter_bytes = sum(p.nbytes for p in shielded.model.stem_parameters())
-    activation_bytes = report.region_value_bytes
-    gradient_bytes = report.region_gradient_bytes + stem_parameter_bytes
+    gradient_bytes = region_gradient_bytes + stem_parameter_bytes
     return ShieldMemoryEstimate(
         model_name=type(shielded.model).__name__,
         shielded_parameters=stem_parameters,

@@ -55,7 +55,10 @@ class SGD(Optimizer):
                 update = velocity
             else:
                 update = grad
-            parameter.data = parameter.data - self.lr * update
+            # In place: same expression, no per-step result allocation, and
+            # the parameter keeps its buffer identity (captured graphs hold
+            # references to parameter arrays, not to their values).
+            np.subtract(parameter.data, self.lr * update, out=parameter.data)
 
 
 class Adam(Optimizer):
@@ -94,4 +97,9 @@ class Adam(Optimizer):
             v += (1.0 - self.beta2) * grad**2
             m_hat = m / bias1
             v_hat = v / bias2
-            parameter.data = parameter.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            # In place, same expression order (see SGD.step).
+            np.subtract(
+                parameter.data,
+                self.lr * m_hat / (np.sqrt(v_hat) + self.eps),
+                out=parameter.data,
+            )

@@ -102,6 +102,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KEY=VALUE",
         help="override an ExperimentConfig field (repeatable)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect per-op kernel counters (counts, seconds, FLOPs, bytes) "
+        "during the run and print the profile table afterwards; captured "
+        "replays report wholesale as captured_replay (process workers don't "
+        "feed the in-process profiler)",
+    )
     parser.add_argument("-v", "--verbose", action="store_true", help="INFO-level progress logs")
     return parser
 
@@ -165,7 +173,14 @@ def main(argv: list[str] | None = None) -> int:
             executor=executor,
             results_dir=None if args.no_persist else args.results_dir,
         )
-        record = engine.run(args.scenario, scale=args.scale, **overrides)
+        if args.profile:
+            from repro.autodiff.profiler import profile_ops
+
+            with profile_ops() as profiler:
+                record = engine.run(args.scenario, scale=args.scale, **overrides)
+        else:
+            profiler = None
+            record = engine.run(args.scenario, scale=args.scale, **overrides)
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
@@ -176,6 +191,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(render_run(record))
+    if profiler is not None:
+        print(f"\nper-op profile ({profiler.total_seconds():.2f}s in kernels):")
+        print(profiler.table())
     stats = record.cache_stats
     print(
         f"\n[{record.scenario}] {record.duration_seconds:.1f}s, "

@@ -18,7 +18,7 @@ from repro.autodiff import (
     relative_error,
 )
 
-TOL = 1e-6
+from tests.autodiff.conftest import grad_check_settings, value_atol, value_rtol
 
 
 class TestIm2Col:
@@ -60,7 +60,7 @@ class TestConv2d:
         w = rng.normal(size=(2, 3, 1, 1))
         out = conv2d(Tensor(x), Tensor(w)).data
         expected = np.einsum("nchw,oc->nohw", x, w[:, :, 0, 0])
-        np.testing.assert_allclose(out, expected, atol=1e-12)
+        np.testing.assert_allclose(out, expected, atol=value_atol())
 
     def test_gradient_wrt_input_weight_and_bias(self, rng):
         x0 = rng.normal(size=(2, 3, 6, 6))
@@ -81,9 +81,10 @@ class TestConv2d:
         def scalar_b(a):
             return float((conv2d(Tensor(x0), Tensor(w0), Tensor(a), stride=2, padding=1).data * probe).sum())
 
-        assert relative_error(x.grad, numerical_gradient(scalar_x, x0.copy())) < TOL
-        assert relative_error(w.grad, numerical_gradient(scalar_w, w0.copy())) < TOL
-        assert relative_error(b.grad, numerical_gradient(scalar_b, b0.copy())) < TOL
+        eps, tol = grad_check_settings()
+        assert relative_error(x.grad, numerical_gradient(scalar_x, x0.copy(), eps=eps)) < tol
+        assert relative_error(w.grad, numerical_gradient(scalar_w, w0.copy(), eps=eps)) < tol
+        assert relative_error(b.grad, numerical_gradient(scalar_b, b0.copy(), eps=eps)) < tol
 
 
 class TestPooling:
@@ -137,7 +138,9 @@ class TestConvTranspose:
         y = rng.normal(size=(1, 4, 6, 6))
         forward = conv2d(Tensor(x), Tensor(w), None, stride=1, padding=1).data
         backward = conv_transpose2d_numpy(y, w, stride=1, padding=1, output_size=(6, 6))
-        assert float((forward * y).sum()) == pytest.approx(float((x * backward).sum()), rel=1e-10)
+        assert float((forward * y).sum()) == pytest.approx(
+            float((x * backward).sum()), rel=value_rtol()
+        )
 
     def test_channel_mismatch_raises(self, rng):
         with pytest.raises(ValueError):

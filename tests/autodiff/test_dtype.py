@@ -16,9 +16,14 @@ def _restore_dtype():
 
 
 class TestDefaultDtype:
-    def test_defaults_to_float64(self):
-        assert get_default_dtype() == np.dtype(np.float64)
-        assert Tensor([1.0, 2.0]).data.dtype == np.float64
+    def test_default_follows_environment(self):
+        import os
+
+        from repro.autodiff.tensor import _resolve_dtype
+
+        expected = _resolve_dtype(os.environ.get("REPRO_DTYPE", "float64"))
+        assert get_default_dtype() == expected
+        assert Tensor([1.0, 2.0]).data.dtype == expected
 
     def test_set_default_dtype_affects_new_tensors(self):
         set_default_dtype("float32")

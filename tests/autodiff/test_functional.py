@@ -21,10 +21,12 @@ from repro.autodiff import (
     softmax,
 )
 
-TOL = 1e-6
+from tests.autodiff.conftest import away_from, grad_check_settings, value_atol
 
 
-def _grad_check(build, x0, tol=TOL):
+def _grad_check(build, x0, tol=None):
+    eps, default_tol = grad_check_settings()
+    tol = tol if tol is not None else default_tol
     probe = {}
 
     def scalar(a):
@@ -38,7 +40,7 @@ def _grad_check(build, x0, tol=TOL):
     if "p" not in probe:
         probe["p"] = np.random.default_rng(3).normal(size=out.shape)
     out.backward(probe["p"])
-    numeric = numerical_gradient(scalar, x0.copy())
+    numeric = numerical_gradient(scalar, x0.copy(), eps=eps)
     assert relative_error(t.grad, numeric) < tol
 
 
@@ -48,7 +50,8 @@ class TestActivations:
         ids=["relu", "sigmoid", "gelu", "softmax", "log_softmax"],
     )
     def test_gradients(self, fn, rng):
-        _grad_check(fn, rng.normal(size=(4, 6)))
+        # Keep samples clear of relu's kink at 0 (harmless for the others).
+        _grad_check(fn, away_from(rng.normal(size=(4, 6))))
 
     def test_relu_forward_values(self):
         out = relu(Tensor(np.array([-1.0, 0.0, 2.0])))
@@ -63,7 +66,7 @@ class TestActivations:
 
     def test_softmax_rows_sum_to_one(self, rng):
         out = softmax(Tensor(rng.normal(size=(5, 7)) * 10), axis=-1)
-        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(5), atol=1e-12)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(5), atol=value_atol())
 
     def test_softmax_numerically_stable_for_large_logits(self):
         out = softmax(Tensor(np.array([[1000.0, 1000.0, -1000.0]])), axis=-1)
@@ -73,7 +76,7 @@ class TestActivations:
         x = rng.normal(size=(3, 5))
         a = log_softmax(Tensor(x), axis=-1).data
         b = np.log(softmax(Tensor(x), axis=-1).data)
-        np.testing.assert_allclose(a, b, atol=1e-10)
+        np.testing.assert_allclose(a, b, atol=value_atol())
 
 
 class TestLosses:

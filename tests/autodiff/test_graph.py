@@ -86,6 +86,28 @@ class TestGraphSnapshot:
         graph = GraphSnapshot(loss)
         assert len(graph) == len(graph.nodes())
 
+    def test_node_costs_come_from_registry_metadata(self):
+        x, w, hidden, activated, loss = _small_graph()
+        graph = GraphSnapshot(loss)
+        matmul = graph.node(hidden.node_id)
+        assert matmul.flops == 2 * 2 * 4 * 3  # (2,3) @ (3,4)
+        assert matmul.bytes_moved > 0
+        assert graph.node(x.node_id).flops == 0  # leaves carry no kernel cost
+        assert graph.total_flops() >= matmul.flops
+        costs = graph.op_costs()
+        assert costs["matmul"]["count"] == 1
+        assert costs["relu"]["flops"] == activated.size
+        assert "leaf" not in costs
+
+    def test_created_shielded_survives_flag_clearing(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True, is_input=True)
+        with shield_scope():
+            hidden = x * 3.0
+        hidden.shielded = False  # what the partition does to the frontier
+        graph = GraphSnapshot(hidden.sum())
+        assert not graph.node(hidden.node_id).shielded
+        assert graph.node(hidden.node_id).created_shielded
+
 
 class TestShieldScope:
     def test_tensors_created_inside_scope_are_tagged(self):

@@ -1,0 +1,215 @@
+"""Tests of the declarative op registry, buffer pool and per-op profiler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    BufferPool,
+    Tensor,
+    active_buffer_pool,
+    active_profiler,
+    elementwise_ops,
+    profile_ops,
+    registered_ops,
+    use_buffer_pool,
+)
+from repro.autodiff import functional as F
+from repro.autodiff import ops as op_registry
+
+#: Every op name the engine's dispatchers emit; keeps the registry honest
+#: about coverage (a Tensor method dispatching an unregistered name raises).
+EXPECTED_OPS = {
+    "add", "sub", "mul", "div", "neg", "pow", "matmul",
+    "exp", "log", "sqrt", "tanh", "abs", "maximum", "minimum",
+    "sum", "mean", "max",
+    "reshape", "transpose", "getitem", "pad", "concat", "stack",
+    "relu", "sigmoid", "gelu", "softmax", "log_softmax",
+    "nll_loss", "margin_loss", "dropout",
+    "conv2d", "max_pool2d", "avg_pool2d",
+}
+
+
+class TestRegistry:
+    def test_expected_ops_are_registered(self):
+        assert set(registered_ops()) == EXPECTED_OPS
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            op_registry.register(op_registry.get("add"))
+
+    def test_unknown_op_lookup_raises(self):
+        with pytest.raises(KeyError, match="unknown op"):
+            op_registry.get("fused_multiply_add")
+
+    def test_elementwise_flags(self):
+        fusable = set(elementwise_ops())
+        assert {"add", "mul", "exp", "tanh", "relu", "sigmoid", "gelu"} <= fusable
+        assert {"matmul", "softmax", "sum", "conv2d", "reshape"}.isdisjoint(fusable)
+
+    def test_dropout_is_not_replayable(self):
+        assert not op_registry.get("dropout").replayable
+        out = F.dropout(
+            Tensor(np.ones((2, 2)), requires_grad=True),
+            rate=0.5,
+            rng=np.random.default_rng(0),
+            training=True,
+        )
+        assert out.forward_fn is None
+
+
+class TestDispatch:
+    def test_node_metadata(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        out = a.exp()
+        assert out.op == "exp"
+        assert out.parents == (a,)
+        assert out._op_call is not None
+        assert out._op_call.op.name == "exp"
+        assert out.forward_fn is not None
+
+    def test_scalar_operands_are_coerced_to_leaf_tensors(self):
+        out = Tensor(np.ones(3)) + 2.0
+        assert len(out.parents) == 2
+        assert out.parents[1].op == "leaf"
+        np.testing.assert_array_equal(out.parents[1].data, 2.0)
+
+    def test_out_kernels_are_bit_identical(self, rng):
+        """Every elementwise kernel lands the same bits with and without out=."""
+        for name in elementwise_ops():
+            op = op_registry.get(name)
+            sample = op.samples[0]
+            arrays = [
+                rng.uniform(sample.low, sample.high, size=shape) for shape in sample.shapes
+            ]
+            plain = op.forward(tuple(arrays), dict(sample.params), {}, None)
+            buffer = np.empty_like(plain)
+            landed = op.forward(tuple(arrays), dict(sample.params), {}, buffer)
+            assert landed is buffer
+            np.testing.assert_array_equal(plain, landed, err_msg=name)
+
+    def test_cost_metadata(self):
+        flops, moved = op_registry.get("matmul").cost_of(((3, 4), (4, 5)), (3, 5), {}, 8)
+        assert flops == 2 * 3 * 5 * 4
+        assert moved == (12 + 20 + 15) * 8
+        flops, moved = op_registry.get("conv2d").cost_of(
+            ((1, 3, 8, 8), (4, 3, 3, 3)), (1, 4, 6, 6), {"stride": 1, "padding": 0}, 4
+        )
+        assert flops == 2 * (1 * 4 * 6 * 6) * 3 * 3 * 3
+        assert op_registry.get("reshape").cost_of(((3, 4),), (12,), {}, 8) == (0, 0)
+        getitem = op_registry.get("getitem")
+        assert getitem.cost_of(((4, 5),), (5,), {"index": 2}, 8) == (0, 0)  # view
+        assert getitem.cost_of(
+            ((4, 5),), (3, 5), {"index": np.array([0, 2, 2])}, 8
+        ) == (0, 2 * 15 * 8)  # gather copies
+
+    def test_gradsample_rejects_invalid_ranges(self):
+        with pytest.raises(ValueError, match="positive"):
+            op_registry.GradSample(shapes=((2,),), positive=True)
+        with pytest.raises(ValueError, match="empty"):
+            op_registry.GradSample(shapes=((2,),), low=1.0, high=1.0)
+
+    def test_output_nbytes_matches_dense_array(self):
+        op = op_registry.get("gelu")
+        assert op.output_nbytes((2, 3, 4), np.float32) == 2 * 3 * 4 * 4
+        assert op.output_nbytes((5,), np.float64) == 40
+
+
+class TestBufferPool:
+    def test_acquire_recycle_reuses_buffers(self):
+        pool = BufferPool()
+        first = pool.acquire((4, 4), np.float64)
+        pool.recycle()
+        second = pool.acquire((4, 4), np.float64)
+        assert second is first
+        assert pool.stats.allocations == 1
+        assert pool.stats.reuses == 1
+
+    def test_keys_split_by_shape_and_dtype(self):
+        pool = BufferPool()
+        pool.acquire((4,), np.float64)
+        pool.recycle()
+        assert pool.acquire((4,), np.float32).dtype == np.float32
+        assert pool.stats.allocations == 2
+
+    def test_dispatcher_reuses_pooled_buffers_across_steps(self, rng):
+        x = Tensor(rng.normal(size=(16, 16)))
+        with use_buffer_pool() as pool:
+            for _ in range(5):
+                result = (x.exp().tanh() * 2.0).data
+                pool.recycle()
+        # Warm after step one: every later step reuses, nothing new allocated.
+        assert pool.stats.reuses >= 2 * pool.stats.allocations
+        assert np.isfinite(result).all()
+
+    def test_pooled_results_match_unpooled(self, rng):
+        x = Tensor(rng.normal(size=(8, 8)))
+        unpooled = ((x.exp() + 1.0).tanh() * 0.5).data.copy()
+        with use_buffer_pool() as pool:
+            pooled = ((x.exp() + 1.0).tanh() * 0.5).data.copy()
+        assert pool.stats.allocations > 0
+        np.testing.assert_array_equal(unpooled, pooled)
+
+    def test_mixed_dtype_results_skip_the_pool(self, rng):
+        """Non-default result dtypes keep compute-then-cast semantics."""
+        from repro.autodiff import get_default_dtype
+
+        default = get_default_dtype()
+        other = np.dtype(np.float32 if default == np.float64 else np.float64)
+        t = Tensor(np.ones(4))
+        t.data = np.ones(4, dtype=other)  # simulate externally-loaded data
+        with use_buffer_pool() as pool:
+            out = t.exp()
+        assert pool.stats.allocations == 0
+        assert out.dtype == default  # cast on tensor creation, as unpooled
+
+    def test_scope_is_thread_local_and_restored(self):
+        assert active_buffer_pool() is None
+        with use_buffer_pool() as pool:
+            assert active_buffer_pool() is pool
+            with use_buffer_pool() as inner:
+                assert active_buffer_pool() is inner
+            assert active_buffer_pool() is pool
+        assert active_buffer_pool() is None
+
+
+class TestProfiler:
+    def test_dispatcher_feeds_active_profiler(self, rng):
+        x = Tensor(rng.normal(size=(4, 6)), requires_grad=True)
+        w = Tensor(rng.normal(size=(6, 3)))
+        with profile_ops() as profiler:
+            F.gelu(x @ w).sum().backward()
+        stats = profiler.as_dict()
+        assert stats["matmul"]["calls"] == 1
+        assert stats["gelu"]["calls"] == 1
+        assert stats["matmul"]["flops"] == 2 * 4 * 3 * 6
+        assert profiler.total_seconds() >= 0.0
+        assert "matmul" in profiler.table()
+
+    def test_inactive_by_default(self):
+        assert active_profiler() is None
+
+    def test_nested_scopes_share_the_outer_profiler(self, rng):
+        x = Tensor(rng.normal(size=(2, 2)))
+        with profile_ops() as outer:
+            with profile_ops() as inner:
+                x.exp()
+            assert inner is outer
+            assert active_profiler() is outer
+        assert active_profiler() is None
+
+    def test_captured_replay_reports_wholesale(self, rng):
+        from repro.autodiff import CapturedExecution, TraceHandles
+
+        w = Tensor(rng.normal(size=(4, 3)), requires_grad=True, is_parameter=True)
+
+        def trace(array):
+            x = Tensor(array, requires_grad=True, is_input=True)
+            return TraceHandles(objective=F.gelu(x @ w).sum(), input=x)
+
+        captured = CapturedExecution()
+        with profile_ops() as profiler:
+            for _ in range(3):
+                captured.run(trace, rng.normal(size=(2, 4)), key="p")
+        assert profiler.as_dict()["captured_replay"]["calls"] == captured.stats.replays == 1

@@ -52,9 +52,11 @@ def test_sum_then_backward_matches_shape(values):
     )
 )
 def test_softmax_outputs_are_probabilities(logits):
+    from tests.autodiff.conftest import value_atol
+
     out = softmax(Tensor(logits), axis=-1).data
     assert np.all(out >= 0.0)
-    np.testing.assert_allclose(out.sum(axis=-1), np.ones(len(logits)), atol=1e-9)
+    np.testing.assert_allclose(out.sum(axis=-1), np.ones(len(logits)), atol=value_atol())
 
 
 @settings(max_examples=40, deadline=None)

@@ -2,17 +2,61 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.core.memory_cost import (
     estimate_paper_model,
     format_bytes,
+    graph_shield_bytes,
+    measure_shielded_model,
     paper_table1,
 )
 from repro.models.paper_configs import PAPER_MODEL_SPECS
 
 _MB = 1024 * 1024
 _KB = 1024
+
+
+class TestGraphDerivedAccounting:
+    """Table I's measured bytes derive from op-registry metadata.
+
+    The graph walk (kernel metadata) and the enclave's runtime region
+    accounting are two independent derivations of the same quantity; they
+    must agree to the byte or the memory model has drifted from the kernels.
+    """
+
+    @pytest.mark.parametrize("name", ["vit_b16", "bit_m_r101x3", "simple_cnn"])
+    def test_graph_walk_matches_enclave_region_accounting(self, name, rng):
+        from repro.core import ShieldedModel
+        from repro.models import build_model
+
+        model = build_model(name, num_classes=10, image_size=32)
+        shielded = ShieldedModel(model)
+        estimate = measure_shielded_model(
+            shielded, rng.uniform(size=(1, 3, 32, 32)), np.array([0])
+        )
+        report = shielded.enclave.memory_report(include_gradients=True)
+        stem_parameter_bytes = sum(p.nbytes for p in model.stem_parameters())
+        assert estimate.activation_bytes == report.region_value_bytes
+        assert estimate.gradient_bytes == report.region_gradient_bytes + stem_parameter_bytes
+
+    def test_frontier_counts_even_after_crossing_clear(self, rng):
+        """The stem output's value goes public but the enclave produced it;
+        the worst-case accounting keys on created_shielded, not shielded."""
+        from repro.core import ShieldedModel
+        from repro.models import build_model
+        from repro.autodiff import functional as F
+        from repro.autodiff.tensor import Tensor
+
+        shielded = ShieldedModel(build_model("simple_cnn", num_classes=10, image_size=16))
+        x = Tensor(rng.uniform(size=(1, 3, 16, 16)), requires_grad=True, is_input=True)
+        objective = F.cross_entropy(shielded(x), np.array([0]), reduction="sum")
+        objective.backward()
+        frontier = shielded.last_frontier
+        assert not frontier.shielded and frontier.created_shielded
+        values, _ = graph_shield_bytes(objective)
+        assert values >= frontier.nbytes
 
 
 class TestPaperEstimates:
