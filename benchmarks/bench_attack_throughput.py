@@ -16,13 +16,20 @@ are persisted as JSON under ``results/runs`` for EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import time
 
 import numpy as np
 import pytest
 
-from benchmarks.conftest import RESULTS_DIR, bench_experiment_config, run_once
+from benchmarks.conftest import (
+    RESULTS_DIR,
+    bench_experiment_config,
+    run_once,
+    write_bench_trajectory,
+)
 from repro.attacks import AttackDriver, DriverConfig, PGD, make_attacker_view
 from repro.eval.astuteness import select_correctly_classified
 
@@ -58,22 +65,43 @@ def _timed_run(attack, view, images, labels, backend: str, active_set: bool):
     return result, time.perf_counter() - start
 
 
-@pytest.mark.parametrize("backend", ["eager", "captured"])
+#: The ``captured_parallel`` leg replays the same captured graphs with the
+#: wave scheduler on 4 worker threads; its sha256 must match the serial legs.
+_PARALLEL_THREADS = 4
+
+
+@pytest.mark.parametrize("backend", ["eager", "captured", "captured_parallel"])
 def test_attack_gradient_throughput(benchmark, engine, backend):
     """PGD throughput on one backend; parity against every other backend."""
     model, attack, images, labels = _bench_setup(engine)
     view = make_attacker_view(model)
-    result, seconds = run_once(
-        benchmark, _timed_run, attack, view, images, labels, backend, False
+    driver_backend = "captured" if backend == "captured_parallel" else backend
+    previous = os.environ.get("REPRO_REPLAY_THREADS")
+    os.environ["REPRO_REPLAY_THREADS"] = (
+        str(_PARALLEL_THREADS) if backend == "captured_parallel" else "1"
     )
+    try:
+        result, seconds = run_once(
+            benchmark, _timed_run, attack, view, images, labels, driver_backend, False
+        )
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_REPLAY_THREADS", None)
+        else:
+            os.environ["REPRO_REPLAY_THREADS"] = previous
     queries_per_second = result.total_sample_queries / max(seconds, 1e-9)
+    digest = hashlib.sha256(np.ascontiguousarray(result.adversarials).tobytes()).hexdigest()
     print()
     print(
         f"[{backend}] {result.total_sample_queries} sample queries "
         f"({result.gradient_queries} calls) in {seconds:.2f}s = "
-        f"{queries_per_second:.1f} queries/s, success={result.success_rate:.2f}"
+        f"{queries_per_second:.1f} queries/s, success={result.success_rate:.2f}, "
+        f"sha256={digest[:12]}"
     )
     for other, entry in _RESULTS.items():
+        assert digest == entry["adversarials_sha256"], (
+            f"{backend} adversarial hash diverges from {other}"
+        )
         assert np.array_equal(result.adversarials, entry["adversarials"]), (
             f"{backend} adversarials diverge from {other}"
         )
@@ -81,6 +109,7 @@ def test_attack_gradient_throughput(benchmark, engine, backend):
         assert np.array_equal(result.queries_per_sample, entry["queries_per_sample"])
     _RESULTS[backend] = {
         "adversarials": result.adversarials,
+        "adversarials_sha256": digest,
         "queries_per_sample": result.queries_per_sample,
         "gradient_calls": result.gradient_queries,
         "sample_queries": result.total_sample_queries,
@@ -98,6 +127,9 @@ def test_active_set_query_reduction_and_report(benchmark, engine):
         result, seconds = _timed_run(attack, view, images, labels, "eager", False)
         _RESULTS["eager"] = {
             "adversarials": result.adversarials,
+            "adversarials_sha256": hashlib.sha256(
+                np.ascontiguousarray(result.adversarials).tobytes()
+            ).hexdigest(),
             "queries_per_sample": result.queries_per_sample,
             "gradient_calls": result.gradient_queries,
             "sample_queries": result.total_sample_queries,
@@ -150,6 +182,17 @@ def test_active_set_query_reduction_and_report(benchmark, engine):
     with path.open("w", encoding="utf-8") as handle:
         json.dump(_jsonify(payload), handle, indent=2, sort_keys=True)
     print(f"wrote {path}")
+    trajectory = {
+        "active_set_query_reduction": reduction,
+        "eager_queries_per_second": fixed["queries_per_second"],
+        "eager_seconds": fixed["seconds"],
+    }
+    for name in ("captured", "captured_parallel"):
+        entry = _RESULTS.get(name)
+        if entry is not None:
+            trajectory[f"{name}_queries_per_second"] = entry["queries_per_second"]
+            trajectory[f"{name}_seconds"] = entry["seconds"]
+    write_bench_trajectory("attack", trajectory)
 
 
 def _jsonify(value):

@@ -20,17 +20,22 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import time
 
 import numpy as np
 
-from benchmarks.conftest import RESULTS_DIR, run_once
+from benchmarks.conftest import RESULTS_DIR, run_once, write_bench_trajectory
 from repro.autodiff import (
     CapturedExecution,
     EagerExecution,
+    InferenceHandles,
+    InferenceRecording,
     Tensor,
     TraceHandles,
+    no_grad,
     use_buffer_pool,
 )
 from repro.autodiff import functional as F
@@ -160,10 +165,82 @@ def _time_chain() -> dict:
     }
 
 
+#: Wide replay workload: independent elementwise branches the wave scheduler
+#: can run concurrently.  Branch count matches a typical multi-head block.
+_WIDE_SHAPE = (96, 256)
+_WIDE_BRANCHES = 8
+_WIDE_REPEATS = 30
+
+
+def _wide_trace():
+    """Independent elementwise branches merged at the end (width-8 waves)."""
+
+    def trace(array: np.ndarray) -> InferenceHandles:
+        with no_grad():
+            x = Tensor(array, is_input=True)
+            branches = [
+                ((x * (1.0 + 0.25 * index) + 0.1).tanh().exp() + 1.0).sqrt()
+                for index in range(_WIDE_BRANCHES)
+            ]
+            merged = branches[0]
+            for branch in branches[1:]:
+                merged = merged + branch
+        return InferenceHandles(input=x, output=merged)
+
+    return trace
+
+
+def _time_parallel_replay() -> dict:
+    """Wide fused graph replayed serially vs on 4 worker threads.
+
+    The same :class:`InferenceRecording` is replayed under
+    ``REPRO_REPLAY_THREADS`` 1 and 4; a sha256 over the output buffer asserts
+    the parallel schedule is bit-identical to the serial one.
+    """
+    rng = np.random.default_rng(17)
+    batch = rng.normal(size=_WIDE_SHAPE)
+    recording = InferenceRecording(_wide_trace()(batch))
+    assert recording.max_wave_width >= _WIDE_BRANCHES, "wide graph did not level wide"
+
+    def timed_at(threads: int) -> tuple[float, str]:
+        previous = os.environ.get("REPRO_REPLAY_THREADS")
+        os.environ["REPRO_REPLAY_THREADS"] = str(threads)
+        try:
+            recording.replay(batch)  # warm-up (spins the executor up once)
+            best = float("inf")
+            for _ in range(3):
+                start = time.perf_counter()
+                for _ in range(_WIDE_REPEATS):
+                    recording.replay(batch)
+                best = min(best, time.perf_counter() - start)
+            digest = hashlib.sha256(recording.replay(batch).output.data.tobytes())
+            return best, digest.hexdigest()
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_REPLAY_THREADS", None)
+            else:
+                os.environ["REPRO_REPLAY_THREADS"] = previous
+
+    serial_seconds, serial_digest = timed_at(1)
+    parallel_seconds, parallel_digest = timed_at(4)
+    assert parallel_digest == serial_digest, "parallel replay diverged from serial"
+    return {
+        "shape": list(_WIDE_SHAPE),
+        "branches": _WIDE_BRANCHES,
+        "waves": recording.waves,
+        "max_wave_width": recording.max_wave_width,
+        "serial_seconds": serial_seconds,
+        "parallel4_seconds": parallel_seconds,
+        "parallel_speedup": serial_seconds / max(parallel_seconds, 1e-9),
+        "output_sha256": serial_digest,
+    }
+
+
 def test_op_microbench_and_report(benchmark):
     """Kernel table + chain workload; fused+pooled must beat eager."""
     kernels = run_once(benchmark, _time_kernels)
     chain = _time_chain()
+    wide = _time_parallel_replay()
     print()
     print(f"{'kernel':<10}{'eager µs':>12}{'pooled µs':>12}")
     for name, row in kernels.items():
@@ -183,12 +260,41 @@ def test_op_microbench_and_report(benchmark):
         "fused replay did not beat eager kernels on the elementwise chain"
     )
     assert chain["fused_chains"] >= 1
+    print(
+        f"[wide {wide['shape']} x{wide['branches']}] serial {wide['serial_seconds']:.3f}s, "
+        f"4 threads {wide['parallel4_seconds']:.3f}s "
+        f"({wide['parallel_speedup']:.2f}x, waves={wide['waves']}, "
+        f"width={wide['max_wave_width']}, bit-identical)"
+    )
+    # Parallel-replay gate: with real cores available, the wave-scheduled
+    # replay of the wide graph must cut wall time at least in half.  On
+    # single-core runners there is no parallelism to measure, so only the
+    # bit-identity assertion (inside _time_parallel_replay) applies.
+    if (os.cpu_count() or 1) >= 4:
+        assert wide["parallel_speedup"] >= 2.0, (
+            f"parallel replay speedup {wide['parallel_speedup']:.2f}x < 2x at 4 threads"
+        )
     payload = {
         "scenario": "bench_op_microbench",
         "kernels": kernels,
         "elementwise_chain": chain,
+        "parallel_replay": wide,
         "parity": "fused replay gradients bit-identical to eager",
     }
+    write_bench_trajectory(
+        "ops",
+        {
+            "chain_eager_seconds": chain["eager_seconds"],
+            "chain_pooled_seconds": chain["pooled_seconds"],
+            "chain_fused_replay_seconds": chain["fused_replay_seconds"],
+            "chain_fused_speedup_vs_eager": chain["fused_speedup_vs_eager"],
+            "wide_replay_serial_seconds": wide["serial_seconds"],
+            "wide_replay_parallel4_seconds": wide["parallel4_seconds"],
+            "wide_replay_parallel_speedup": wide["parallel_speedup"],
+            "wide_max_wave_width": wide["max_wave_width"],
+            "wide_waves": wide["waves"],
+        },
+    )
     runs_dir = RESULTS_DIR / "runs"
     runs_dir.mkdir(parents=True, exist_ok=True)
     path = runs_dir / "bench_op_microbench.json"

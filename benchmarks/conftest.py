@@ -18,11 +18,14 @@ structured JSON record under ``results/runs`` for
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
 from pathlib import Path
 
 import pytest
 
+from repro.autodiff import get_default_dtype, replay_thread_count
 from repro.eval.engine import ExperimentEngine, scaled_experiment_config
 from repro.eval.harness import ExperimentConfig
 from repro.utils.rng import set_global_seed
@@ -31,6 +34,44 @@ BENCH_SCALE = "full" if os.environ.get("REPRO_BENCH_SCALE") == "full" else "benc
 
 #: Every run record / cached defender lands under the repository's results/.
 RESULTS_DIR = Path(__file__).resolve().parents[1] / "results"
+
+#: BENCH_<area>.json trajectory files live at the repository root so CI can
+#: upload them as artifacts and scripts/compare_bench.py can diff revisions.
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=10,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def write_bench_trajectory(area: str, metrics: dict) -> Path:
+    """Write ``BENCH_<area>.json`` at the repo root: one revision's numbers.
+
+    The file pins the context a benchmark ran under (git SHA, replay thread
+    count, dtype) next to its normalized metrics, so consecutive revisions'
+    files form a performance trajectory that ``scripts/compare_bench.py``
+    gates CI on.
+    """
+    path = REPO_ROOT / f"BENCH_{area}.json"
+    record = {
+        "area": area,
+        "git_sha": _git_sha(),
+        "replay_threads": replay_thread_count(),
+        "dtype": str(get_default_dtype()),
+        "metrics": {key: float(value) for key, value in sorted(metrics.items())},
+    }
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def bench_experiment_config(**overrides) -> ExperimentConfig:

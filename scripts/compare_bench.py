@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Gate a revision's BENCH_<area>.json against the previous revision's.
+
+Usage::
+
+    python scripts/compare_bench.py BENCH_ops.json previous/BENCH_ops.json
+    python scripts/compare_bench.py current.json previous.json --tolerance 0.20
+
+Each ``BENCH_<area>.json`` (written by ``benchmarks/conftest.py``'s
+``write_bench_trajectory``) pins one revision's normalized metrics next to
+its git SHA, replay thread count and dtype.  This script diffs two such
+files metric by metric and **exits 1** when any metric regressed by more
+than the tolerance (default 15%), so CI can fail a PR that slows the
+replay executor or the serving path down.
+
+Direction is inferred from the metric name: ``*_seconds`` and ``*_us`` are
+lower-is-better (time), everything else — throughputs, speedups, widths —
+is higher-is-better.  Metrics present in only one file are reported but
+never gate (a new benchmark must not fail the first revision that adds it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Name suffixes marking a metric as lower-is-better.
+_LOWER_IS_BETTER_SUFFIXES = ("_seconds", "_us")
+
+
+def lower_is_better(name: str) -> bool:
+    """Whether a smaller value of this metric is an improvement."""
+    return name.endswith(_LOWER_IS_BETTER_SUFFIXES)
+
+
+def regression_ratio(name: str, current: float, previous: float) -> float:
+    """Fractional regression of ``current`` vs ``previous`` (negative = better).
+
+    Normalized so that +0.15 always means "15% worse", whichever direction
+    the metric improves in.
+    """
+    if previous == 0:
+        return 0.0
+    change = (current - previous) / abs(previous)
+    return change if lower_is_better(name) else -change
+
+
+def load_metrics(path: Path) -> dict:
+    payload = json.loads(path.read_text())
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        raise SystemExit(f"{path}: not a BENCH trajectory file (no 'metrics' object)")
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="this revision's BENCH_<area>.json")
+    parser.add_argument("previous", type=Path, help="the baseline BENCH_<area>.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="maximum allowed fractional regression per metric (default 0.15)",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_metrics(args.current)
+    previous = load_metrics(args.previous)
+    print(
+        f"comparing {current.get('area', '?')}: "
+        f"{previous.get('git_sha', '?')[:12]} -> {current.get('git_sha', '?')[:12]} "
+        f"(threads {previous.get('replay_threads')} -> {current.get('replay_threads')}, "
+        f"tolerance {args.tolerance:.0%})"
+    )
+
+    failures = []
+    names = sorted(set(current["metrics"]) | set(previous["metrics"]))
+    for name in names:
+        now = current["metrics"].get(name)
+        then = previous["metrics"].get(name)
+        if now is None or then is None:
+            side = "baseline" if now is None else "current"
+            print(f"  {name:<40} only in {side}, not gated")
+            continue
+        regression = regression_ratio(name, float(now), float(then))
+        direction = "lower" if lower_is_better(name) else "higher"
+        verdict = "FAIL" if regression > args.tolerance else "ok"
+        print(
+            f"  {name:<40} {then:>12.4f} -> {now:>12.4f}  "
+            f"({regression:+.1%} worse, {direction}-is-better) {verdict}"
+        )
+        if regression > args.tolerance:
+            failures.append((name, regression))
+
+    if failures:
+        print(f"{len(failures)} metric(s) regressed beyond {args.tolerance:.0%}:")
+        for name, regression in failures:
+            print(f"  {name}: {regression:+.1%}")
+        return 1
+    print("no regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

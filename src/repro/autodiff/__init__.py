@@ -18,7 +18,9 @@ from repro.autodiff.capture import (
     GraphRecording,
     InferenceHandles,
     InferenceRecording,
+    ReplayPlan,
     TraceHandles,
+    replay_thread_count,
     resolve_execution_backend,
     resolve_inference_backend,
 )
@@ -91,6 +93,7 @@ __all__ = [
     "Op",
     "OpCall",
     "OpProfiler",
+    "ReplayPlan",
     "ShieldRegion",
     "Tensor",
     "TraceHandles",
@@ -126,6 +129,7 @@ __all__ = [
     "profile_ops",
     "relative_error",
     "relu",
+    "replay_thread_count",
     "set_default_dtype",
     "shield_scope",
     "sigmoid",

@@ -24,6 +24,17 @@ A recording owns its buffers, so it must not be shared across threads, and it
 assumes the model parameters do not change between replays (true for the
 attack hot path: defenders are frozen while being attacked).
 
+Replays are **dependency-scheduled**: the plan builder derives a DAG over the
+replay steps (each step's operands → the step that writes them), levels it
+into waves of mutually independent steps, and executes each wave on a shared
+thread pool sized by ``REPRO_REPLAY_THREADS`` (default ``os.cpu_count()``;
+``1`` selects the exact serial path).  Every step writes only its own node's
+preallocated buffer and reads only upstream buffers, so wave execution is
+race-free — and since each step evaluates the same NumPy expressions on the
+same operand values regardless of interleaving, parallel replays remain
+bit-identical to serial ones.  Large saved-free elementwise chains shard
+along the batch axis as a second parallelism axis behind the same knob.
+
 The same machinery also powers the **grad-free inference mode** used by the
 serving runtime (:mod:`repro.serve`): :class:`CapturedInference` records a
 forward-only graph — traced under ``no_grad``, where ops still register
@@ -34,8 +45,12 @@ Replayed logits are bit-identical to an eager forward of the same batch.
 
 from __future__ import annotations
 
+import functools
+import os
+import threading
 import time
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Hashable
 
@@ -49,6 +64,58 @@ _LOGGER = get_logger("autodiff.capture")
 
 #: Names accepted by :func:`resolve_execution_backend`.
 EXECUTION_BACKENDS = ("eager", "captured")
+
+#: A fused chain only shards across threads when it moves at least this many
+#: output elements — below that, slicing overhead beats the kernel win.
+_SHARD_MIN_ELEMENTS = 1 << 15
+
+#: A wave only fans out to the executor when its steps produce at least this
+#: many elements; tiny waves (scalar tails, bias fix-ups) stay on the caller
+#: thread where they are cheaper than a future round trip.
+_PARALLEL_MIN_WAVE_ELEMENTS = 2048
+
+
+def replay_thread_count() -> int:
+    """Worker threads used for wave-parallel replays.
+
+    Resolved from ``REPRO_REPLAY_THREADS`` on every replay (tests flip it at
+    runtime); unset means one worker per CPU, ``1`` selects the exact serial
+    code path.
+    """
+    raw = os.environ.get("REPRO_REPLAY_THREADS", "").strip()
+    if raw:
+        try:
+            count = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_REPLAY_THREADS must be an integer, got {raw!r}"
+            ) from None
+    else:
+        count = os.cpu_count() or 1
+    return max(count, 1)
+
+
+_EXECUTOR_LOCK = threading.Lock()
+_EXECUTORS: dict[int, ThreadPoolExecutor] = {}
+
+
+def _shared_executor(workers: int) -> ThreadPoolExecutor:
+    """The process-wide replay executor for a given worker count.
+
+    Created lazily and shared by every recording: replays are short and
+    frequent, so paying thread start-up per replay (or per recording) would
+    dominate the win.  Concurrent replays (serving worker replicas) share the
+    pool safely — wave tasks never submit nested work, so the pool cannot
+    deadlock on itself.
+    """
+    with _EXECUTOR_LOCK:
+        executor = _EXECUTORS.get(workers)
+        if executor is None:
+            executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-replay"
+            )
+            _EXECUTORS[workers] = executor
+        return executor
 
 
 class GraphCaptureError(RuntimeError):
@@ -64,11 +131,15 @@ class _ReplayNode:
     itself is wasted.
     """
 
-    __slots__ = ("node", "needs_copy")
+    __slots__ = ("node", "needs_copy", "elements")
+
+    #: Thunk steps write one opaque buffer; they never split across threads.
+    shardable = False
 
     def __init__(self, node: Tensor):
         self.node = node
         self.needs_copy: bool | None = None
+        self.elements = int(node.data.size)
 
     def run(self) -> None:
         node = self.node
@@ -83,6 +154,9 @@ class _ReplayNode:
         if self.needs_copy:
             np.copyto(node.data, new_value)
 
+    def units(self, threads: int) -> tuple:
+        return (self.run,)
+
 
 class _FusedChain:
     """A run of consecutive elementwise registry ops, replayed in place.
@@ -92,19 +166,69 @@ class _FusedChain:
     happens, and because the kernels execute in the recorded order on the
     same operand values, the buffers end up bit-identical to the unfused
     replay.  Backward closures keep reading the same (refreshed) buffers.
+
+    Large chains whose every op is marked ``shardable`` (saved-free
+    elementwise ufuncs) additionally split along the batch axis: each worker
+    runs the whole chain on a disjoint row slice of every buffer, which is
+    elementwise-exact, so sharded output stays bit-identical to unsharded.
     """
 
-    __slots__ = ("steps",)
+    __slots__ = ("steps", "elements", "_shard_batch")
 
     def __init__(self, nodes: list[Tensor]):
         self.steps = [(node._op_call, node.data) for node in nodes]
+        self.elements = sum(int(node.data.size) for node in nodes)
+        batches = {node.data.shape[0] for node in nodes if node.data.ndim}
+        sharded = (
+            all(node.data.ndim for node in nodes)
+            and len(batches) == 1
+            and all(node._op_call.op.shardable for node in nodes)
+        )
+        batch = batches.pop() if sharded else 0
+        self._shard_batch = batch if batch >= 2 else 0
 
     def __len__(self) -> int:
         return len(self.steps)
 
+    @property
+    def shardable(self) -> bool:
+        return self._shard_batch >= 2 and self.elements >= _SHARD_MIN_ELEMENTS
+
     def run(self) -> None:
         for call, out in self.steps:
             call.kernel(out=out)
+
+    def run_shard(self, start: int, stop: int) -> None:
+        """Run every kernel of the chain on rows [start, stop) only.
+
+        Operands are sliced when their leading axis aligns with the output's
+        (broadcast operands — size-1 or lower-rank — pass through whole), so
+        each worker reads and writes a disjoint row band of the chain's
+        buffers: race-free, and ufunc-exact per element.
+        """
+        for call, out in self.steps:
+            batch = out.shape[0]
+            inputs = tuple(
+                tensor.data[start:stop]
+                if tensor.data.ndim == out.ndim and tensor.data.shape[0] == batch
+                else tensor.data
+                for tensor in call.tensors
+            )
+            call.op.forward(inputs, call.params, call.saved, out[start:stop])
+
+    def units(self, threads: int) -> tuple:
+        if not self.shardable:
+            return (self.run,)
+        shards = min(threads, self._shard_batch)
+        if shards < 2:
+            return (self.run,)
+        size, extra = divmod(self._shard_batch, shards)
+        units, start = [], 0
+        for shard in range(shards):
+            stop = start + size + (1 if shard < extra else 0)
+            units.append(functools.partial(self.run_shard, start, stop))
+            start = stop
+        return tuple(units)
 
 
 def _fusable(node: Tensor) -> bool:
@@ -120,15 +244,118 @@ def _fusable(node: Tensor) -> bool:
     return result == node.data.dtype
 
 
-def _build_replay_plan(nodes: list[Tensor]) -> tuple[list, int, int]:
-    """Group consecutive fusable nodes into chains; returns (plan, chains, ops).
+class ReplayPlan:
+    """The executable form of a recording: fused steps levelled into waves.
 
-    Execution order is preserved exactly — fusion only collapses the
-    per-node Python dispatch (thunk call, temp allocation, copy-back) of a
-    chain into one in-place kernel sweep.
+    ``steps`` preserves the recorded topological order (the serial path runs
+    them front to back, exactly as before).  ``waves`` groups step indices by
+    dependency depth: every step in a wave reads only buffers written by
+    earlier waves and writes only its own node's buffer, so a wave executes
+    race-free in any order or interleaving — which is why parallel replays
+    stay bit-identical to serial ones.
     """
-    plan: list = []
+
+    __slots__ = ("steps", "waves", "wave_elements", "fused_chains", "fused_ops")
+
+    def __init__(
+        self,
+        steps: list,
+        waves: list[list[int]],
+        fused_chains: int,
+        fused_ops: int,
+    ) -> None:
+        self.steps = steps
+        self.waves = waves
+        self.wave_elements = [
+            sum(steps[index].elements for index in wave) for wave in waves
+        ]
+        self.fused_chains = fused_chains
+        self.fused_ops = fused_ops
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    @property
+    def wave_count(self) -> int:
+        return len(self.waves)
+
+    @property
+    def max_wave_width(self) -> int:
+        return max((len(wave) for wave in self.waves), default=0)
+
+    @property
+    def parallelizable(self) -> bool:
+        """Whether threads can help at all: a wide wave or a shardable chain.
+
+        Narrow chain graphs short-circuit to the serial loop so they never
+        pay executor overhead.
+        """
+        return self.max_wave_width > 1 or any(step.shardable for step in self.steps)
+
+    def execute_serial(self) -> None:
+        for step in self.steps:
+            step.run()
+
+    def execute(self, threads: int, timed: bool = False) -> float | None:
+        """Run the plan wave by wave on the shared executor.
+
+        Waves are barriers: every task of wave *w* completes before wave
+        *w+1* starts, which is the whole scheduling invariant.  The caller
+        thread always takes the first task of a wave itself, so a one-task
+        wave never touches the executor.  With ``timed`` the summed per-task
+        busy seconds are returned for the profiler's utilization figure.
+        """
+        if threads <= 1 or not self.parallelizable:
+            self.execute_serial()
+            return None
+        executor = _shared_executor(threads)
+        durations: list[float] | None = [] if timed else None
+
+        def call(unit) -> None:
+            if durations is None:
+                unit()
+            else:
+                started = time.perf_counter()
+                unit()
+                durations.append(time.perf_counter() - started)
+
+        for wave, elements in zip(self.waves, self.wave_elements):
+            if len(wave) == 1 and elements < _SHARD_MIN_ELEMENTS:
+                call(self.steps[wave[0]].run)
+                continue
+            units: list = []
+            for index in wave:
+                units.extend(self.steps[index].units(threads))
+            if len(units) == 1 or elements < _PARALLEL_MIN_WAVE_ELEMENTS:
+                for unit in units:
+                    call(unit)
+                continue
+            futures = [executor.submit(call, unit) for unit in units[1:]]
+            call(units[0])
+            for future in futures:
+                future.result()
+        return sum(durations) if durations is not None else None
+
+
+def _build_replay_plan(nodes: list[Tensor]) -> ReplayPlan:
+    """Fuse consecutive elementwise nodes, then level the steps into waves.
+
+    Serial execution order is preserved exactly — fusion only collapses the
+    per-node Python dispatch (thunk call, temp allocation, copy-back) of a
+    chain into one in-place kernel sweep.  On top of the fused step list the
+    planner derives the dependency DAG (each step's inputs → the step that
+    produces them), levels it into waves of mutually independent steps, and
+    gives any step whose op is marked concurrency-unsafe a singleton wave of
+    its own so it never runs concurrently with anything.
+    """
+    steps: list = []
+    groups: list[list[Tensor]] = []
     chain: list[Tensor] = []
+    chain_ids: set[int] = set()
+    replayed: set[int] = set()
     fused_chains = 0
     fused_ops = 0
 
@@ -136,20 +363,111 @@ def _build_replay_plan(nodes: list[Tensor]) -> tuple[list, int, int]:
         nonlocal fused_chains, fused_ops
         if not chain:
             return
-        plan.append(_FusedChain(chain))
+        steps.append(_FusedChain(chain))
+        groups.append(list(chain))
         if len(chain) > 1:
             fused_chains += 1
             fused_ops += len(chain)
         chain.clear()
+        chain_ids.clear()
+
+    def extends_chain(node: Tensor) -> bool:
+        """Fusable node whose replayed operands all live in the open chain.
+
+        Fusing only along true data dependencies keeps sequential runs in
+        one in-place sweep while leaving independent branches as separate
+        steps the wave scheduler can run concurrently — merging them (as a
+        purely order-based pass would) would serialize the whole level.
+        """
+        if not chain:
+            return True
+        parents_in_replay = [
+            parent.node_id for parent in node.parents if parent.node_id in replayed
+        ]
+        # A node fed only by the input or constants is a fresh branch root —
+        # gluing it to an unrelated open chain would serialize the branches.
+        if not parents_in_replay:
+            return False
+        return all(parent in chain_ids for parent in parents_in_replay)
 
     for node in nodes:
-        if _fusable(node):
+        if _fusable(node) and extends_chain(node):
             chain.append(node)
+            chain_ids.add(node.node_id)
         else:
             flush()
-            plan.append(_ReplayNode(node))
+            if _fusable(node):
+                chain.append(node)
+                chain_ids.add(node.node_id)
+            else:
+                steps.append(_ReplayNode(node))
+                groups.append([node])
+        replayed.add(node.node_id)
     flush()
-    return plan, fused_chains, fused_ops
+
+    # Dependency DAG over steps: map every replayed node to the step that
+    # writes its buffer; a step depends on the producers of its nodes'
+    # parents.  Chain-internal edges resolve to the step itself and drop out.
+    producer: dict[int, int] = {}
+    levels: list[int] = []
+    barriers: list[bool] = []
+    for index, group in enumerate(groups):
+        level = 0
+        for node in group:
+            for parent in node.parents:
+                dep = producer.get(parent.node_id)
+                if dep is not None and dep != index:
+                    level = max(level, levels[dep] + 1)
+        for node in group:
+            producer[node.node_id] = index
+        levels.append(level)
+        barriers.append(
+            any(
+                node._op_call is not None and not node._op_call.op.concurrency_safe
+                for node in group
+            )
+        )
+
+    waves: list[list[int]] = []
+    for level in range(max(levels, default=-1) + 1):
+        members = [index for index, lvl in enumerate(levels) if lvl == level]
+        concurrent = [index for index in members if not barriers[index]]
+        if concurrent:
+            waves.append(concurrent)
+        # Concurrency-unsafe steps run alone: a singleton wave is a full
+        # barrier against everything before, beside and after it.
+        waves.extend([index] for index in members if barriers[index])
+    return ReplayPlan(steps, waves, fused_chains, fused_ops)
+
+
+def _record_replay(
+    profiler,
+    name: str,
+    elapsed: float,
+    plan: ReplayPlan,
+    threads: int,
+    busy: float | None,
+) -> None:
+    """Report one replay to the profiler.
+
+    Serial replays keep the classic ``captured_replay`` /
+    ``captured_inference_replay`` rows; wave-parallel replays land under a
+    ``*_parallel`` row whose meta carries wave count, width, thread count and
+    (from the per-wave task timings) worker utilization, so ``--profile``
+    output distinguishes the two and shows how well the waves filled the
+    pool.
+    """
+    if threads <= 1:
+        profiler.record(name, elapsed, 0, 0)
+        return
+    meta = {
+        "threads": threads,
+        "waves": plan.wave_count,
+        "max_wave_width": plan.max_wave_width,
+    }
+    if busy is not None and elapsed > 0.0:
+        meta["utilization"] = busy / (elapsed * threads)
+    profiler.record(f"{name}_parallel", elapsed, 0, 0, meta=meta)
 
 
 @dataclass
@@ -191,8 +509,14 @@ class GraphRecording:
         #: Topological order of the whole graph (grads are reset over it).
         self._order = order
         #: Replay plan: consecutive elementwise registry ops are fused into
-        #: in-place chains; everything else replays thunk-then-copy.
-        self._plan, self.fused_chains, self.fused_ops = _build_replay_plan(replay)
+        #: in-place chains (everything else replays thunk-then-copy), and the
+        #: steps are levelled into waves of mutually independent work.
+        self._plan = _build_replay_plan(replay)
+        self.fused_chains = self._plan.fused_chains
+        self.fused_ops = self._plan.fused_ops
+        #: Wave statistics of the dependency-scheduled plan.
+        self.waves = self._plan.wave_count
+        self.max_wave_width = self._plan.max_wave_width
         self._reversed = list(reversed(order))
         self._seed = np.ones_like(self.objective.data)
         #: Number of times this recording has been replayed.
@@ -211,8 +535,9 @@ class GraphRecording:
         profiler = _profiler.active_profiler()
         started = time.perf_counter() if profiler is not None else 0.0
         np.copyto(self.input.data, inputs)
-        for step in self._plan:
-            step.run()
+        threads = replay_thread_count()
+        parallel = threads > 1 and self._plan.parallelizable
+        busy = self._plan.execute(threads, timed=parallel and profiler is not None)
         for node in self._order:
             node.grad = None
         # Inline of Tensor.backward over the recorded order: same seed, same
@@ -226,7 +551,14 @@ class GraphRecording:
             setattr(obj, attribute, value)
         self.replays += 1
         if profiler is not None:
-            profiler.record("captured_replay", time.perf_counter() - started, 0, 0)
+            _record_replay(
+                profiler,
+                "captured_replay",
+                time.perf_counter() - started,
+                self._plan,
+                threads if parallel else 1,
+                busy,
+            )
         return TraceHandles(objective=self.objective, input=self.input, rebinds=self.rebinds)
 
 
@@ -351,9 +683,13 @@ class InferenceRecording:
                 replay.append(node)
         if self.output.node_id not in dependent:
             raise GraphCaptureError("model output does not depend on the input")
-        #: Replay plan with fused elementwise chains (see
-        #: :class:`GraphRecording`; the same pass serves both recordings).
-        self._plan, self.fused_chains, self.fused_ops = _build_replay_plan(replay)
+        #: Replay plan with fused elementwise chains and dependency waves
+        #: (see :class:`GraphRecording`; the same pass serves both).
+        self._plan = _build_replay_plan(replay)
+        self.fused_chains = self._plan.fused_chains
+        self.fused_ops = self._plan.fused_ops
+        self.waves = self._plan.wave_count
+        self.max_wave_width = self._plan.max_wave_width
         self.replays = 0
 
     def __len__(self) -> int:
@@ -369,15 +705,23 @@ class InferenceRecording:
         profiler = _profiler.active_profiler()
         started = time.perf_counter() if profiler is not None else 0.0
         np.copyto(self.input.data, inputs)
-        for step in self._plan:
-            step.run()
+        threads = replay_thread_count()
+        parallel = threads > 1 and self._plan.parallelizable
+        busy = self._plan.execute(threads, timed=parallel and profiler is not None)
         for obj, attribute, value in self.rebinds:
             setattr(obj, attribute, value)
         if self.on_replay is not None:
             self.on_replay()
         self.replays += 1
         if profiler is not None:
-            profiler.record("captured_inference_replay", time.perf_counter() - started, 0, 0)
+            _record_replay(
+                profiler,
+                "captured_inference_replay",
+                time.perf_counter() - started,
+                self._plan,
+                threads if parallel else 1,
+                busy,
+            )
         return InferenceHandles(
             input=self.input, output=self.output, rebinds=self.rebinds, on_replay=self.on_replay
         )

@@ -143,6 +143,16 @@ class Op:
     #: Whether a recorded node of this op can be replayed (dropout cannot:
     #: it redraws its mask per call).
     replayable: bool = True
+    #: Whether the kernel may run concurrently with other replay steps.  All
+    #: current kernels are pure functions of their operands, so every
+    #: registered op is safe; flip this for an op that touches process-wide
+    #: state and the wave planner gives its steps a singleton barrier wave.
+    concurrency_safe: bool = True
+    #: Saved-free elementwise ufunc whose output rows depend only on the
+    #: matching operand rows: eligible for intra-op batch-axis sharding in
+    #: parallel replays (implies ``concurrency_safe``).  Ops that refresh
+    #: ``saved`` buffers in their forward (gelu) must stay unsharded.
+    shardable: bool = False
     #: ``(in_shapes, out_shape, params, itemsize) -> (flops, bytes_moved)``.
     cost: Callable = _default_cost
     #: Gradient-check configurations; ops with an empty tuple must explain
@@ -936,15 +946,15 @@ _BINARY_SAMPLES = (
     GradSample(shapes=((4,), (3, 4))),  # leading broadcast
 )
 
-register(Op("add", _add_forward, _add_backward, elementwise=True, samples=_BINARY_SAMPLES))
-register(Op("sub", _sub_forward, _sub_backward, elementwise=True, samples=_BINARY_SAMPLES))
-register(Op("mul", _mul_forward, _mul_backward, elementwise=True, samples=_BINARY_SAMPLES))
+register(Op("add", _add_forward, _add_backward, elementwise=True, shardable=True, samples=_BINARY_SAMPLES))
+register(Op("sub", _sub_forward, _sub_backward, elementwise=True, shardable=True, samples=_BINARY_SAMPLES))
+register(Op("mul", _mul_forward, _mul_backward, elementwise=True, shardable=True, samples=_BINARY_SAMPLES))
 register(
     Op(
         "div",
         _div_forward,
         _div_backward,
-        elementwise=True,
+        elementwise=True, shardable=True,
         samples=(
             GradSample(shapes=((3, 4), (3, 4)), low=0.5, high=2.0, positive=True),
             GradSample(shapes=((3, 1), (3, 4)), low=0.5, high=2.0, positive=True),
@@ -952,14 +962,14 @@ register(
     )
 )
 register(
-    Op("neg", _neg_forward, _neg_backward, elementwise=True, samples=(GradSample(shapes=((3, 4),)),))
+    Op("neg", _neg_forward, _neg_backward, elementwise=True, shardable=True, samples=(GradSample(shapes=((3, 4),)),))
 )
 register(
     Op(
         "pow",
         _pow_forward,
         _pow_backward,
-        elementwise=True,
+        elementwise=True, shardable=True,
         samples=(
             GradSample(shapes=((3, 4),), params={"power": 2.0}),
             GradSample(shapes=((3, 4),), params={"power": 3.0}, low=0.5, high=2.0, positive=True),
@@ -979,14 +989,14 @@ register(
     )
 )
 register(
-    Op("exp", _exp_forward, _exp_backward, elementwise=True, samples=(GradSample(shapes=((3, 4),)),))
+    Op("exp", _exp_forward, _exp_backward, elementwise=True, shardable=True, samples=(GradSample(shapes=((3, 4),)),))
 )
 register(
     Op(
         "log",
         _log_forward,
         _log_backward,
-        elementwise=True,
+        elementwise=True, shardable=True,
         samples=(GradSample(shapes=((3, 4),), low=0.5, high=3.0, positive=True),),
     )
 )
@@ -995,13 +1005,13 @@ register(
         "sqrt",
         _sqrt_forward,
         _sqrt_backward,
-        elementwise=True,
+        elementwise=True, shardable=True,
         samples=(GradSample(shapes=((3, 4),), low=0.5, high=3.0, positive=True),),
     )
 )
 register(
     Op(
-        "tanh", _tanh_forward, _tanh_backward, elementwise=True, samples=(GradSample(shapes=((3, 4),)),)
+        "tanh", _tanh_forward, _tanh_backward, elementwise=True, shardable=True, samples=(GradSample(shapes=((3, 4),)),)
     )
 )
 register(
@@ -1009,7 +1019,7 @@ register(
         "abs",
         _abs_forward,
         _abs_backward,
-        elementwise=True,
+        elementwise=True, shardable=True,
         samples=(GradSample(shapes=((3, 4),), low=0.25, high=2.0, positive=True),),
     )
 )
@@ -1018,7 +1028,7 @@ register(
         "maximum",
         _maximum_forward,
         _maximum_backward,
-        elementwise=True,
+        elementwise=True, shardable=True,
         samples=(GradSample(shapes=((3, 4),), params={"value": 0.1}),),
     )
 )
@@ -1027,7 +1037,7 @@ register(
         "minimum",
         _minimum_forward,
         _minimum_backward,
-        elementwise=True,
+        elementwise=True, shardable=True,
         samples=(GradSample(shapes=((3, 4),), params={"value": 0.1}),),
     )
 )
@@ -1129,7 +1139,7 @@ register(
         "relu",
         _relu_forward,
         _relu_backward,
-        elementwise=True,
+        elementwise=True, shardable=True,
         samples=(GradSample(shapes=((3, 4),), low=0.25, high=2.0, positive=True),),
     )
 )
@@ -1138,7 +1148,7 @@ register(
         "sigmoid",
         _sigmoid_forward,
         _sigmoid_backward,
-        elementwise=True,
+        elementwise=True, shardable=True,
         samples=(GradSample(shapes=((3, 4),)),),
     )
 )

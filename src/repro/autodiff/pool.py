@@ -47,32 +47,41 @@ class PoolStats:
 class BufferPool:
     """Reusable ``np.empty`` arrays keyed by (shape, dtype).
 
-    Not thread-safe by design: a pool belongs to one step loop on one thread
-    (activate per-thread with :func:`use_buffer_pool`).
+    Thread-safe: the free lists and outstanding ledger are shared mutable
+    state, and a pool may be hit from several threads at once — the training
+    loop's pool while a wave-parallel replay runs, or an engine cell executor
+    sharing one pool across worker threads.  A single lock guards every
+    mutation; the critical sections are a list pop/append, so contention is
+    negligible next to the kernels the pool feeds.  Without the lock two
+    concurrent :meth:`acquire` calls could pop the same free-list entry and
+    hand the same array out twice.
     """
 
     def __init__(self) -> None:
         self._free: dict[tuple, list[np.ndarray]] = {}
         self._outstanding: list[np.ndarray] = []
+        self._lock = threading.Lock()
         self.stats = PoolStats()
 
     def acquire(self, shape: tuple[int, ...], dtype) -> np.ndarray:
         """An uninitialised buffer of the requested shape and dtype."""
         key = (tuple(shape), np.dtype(dtype).str)
-        free = self._free.get(key)
-        if free:
-            buffer = free.pop()
-            self.stats.reuses += 1
-        else:
-            buffer = np.empty(shape, dtype=dtype)
-            self.stats.allocations += 1
-        self._outstanding.append(buffer)
+        with self._lock:
+            free = self._free.get(key)
+            if free:
+                buffer = free.pop()
+                self.stats.reuses += 1
+            else:
+                buffer = np.empty(shape, dtype=dtype)
+                self.stats.allocations += 1
+            self._outstanding.append(buffer)
         return buffer
 
     def release(self, buffer: np.ndarray) -> None:
         """Return one buffer to its free list (rare; prefer :meth:`recycle`)."""
         key = (buffer.shape, buffer.dtype.str)
-        self._free.setdefault(key, []).append(buffer)
+        with self._lock:
+            self._free.setdefault(key, []).append(buffer)
 
     def recycle(self) -> int:
         """Return every outstanding buffer to the free lists; ends a step.
@@ -81,15 +90,18 @@ class BufferPool:
         referenced by live tensors it still needs.  Returns how many buffers
         were recycled.
         """
-        count = len(self._outstanding)
-        for buffer in self._outstanding:
-            self.release(buffer)
-        self._outstanding.clear()
-        self.stats.recycles += 1
+        with self._lock:
+            count = len(self._outstanding)
+            for buffer in self._outstanding:
+                key = (buffer.shape, buffer.dtype.str)
+                self._free.setdefault(key, []).append(buffer)
+            self._outstanding.clear()
+            self.stats.recycles += 1
         return count
 
     def __len__(self) -> int:
-        return sum(len(free) for free in self._free.values()) + len(self._outstanding)
+        with self._lock:
+            return sum(len(free) for free in self._free.values()) + len(self._outstanding)
 
 
 class _PoolState(threading.local):

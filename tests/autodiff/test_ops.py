@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -163,6 +165,63 @@ class TestBufferPool:
             out = t.exp()
         assert pool.stats.allocations == 0
         assert out.dtype == default  # cast on tensor creation, as unpooled
+
+    def test_concurrent_hammer_never_aliases_buffers(self):
+        """N threads acquiring at once must never receive the same array.
+
+        Each worker stamps its buffers with a unique value, yields, and then
+        checks the stamp survived — if two threads were ever handed the same
+        array, one stamp overwrites the other and the check fails.
+        """
+        pool = BufferPool()
+        workers, rounds, per_round = 8, 40, 4
+        barrier = threading.Barrier(workers)
+        failures: list[str] = []
+
+        def hammer(tag: int) -> None:
+            barrier.wait()
+            for round_index in range(rounds):
+                stamps = []
+                for slot in range(per_round):
+                    buffer = pool.acquire((64,), np.float64)
+                    value = float(tag * 10_000 + round_index * 10 + slot)
+                    buffer.fill(value)
+                    stamps.append((buffer, value))
+                for buffer, value in stamps:
+                    if not (buffer == value).all():
+                        failures.append(f"thread {tag} lost its stamp")
+                for buffer, _ in stamps:
+                    pool.release(buffer)
+
+        threads = [threading.Thread(target=hammer, args=(tag,)) for tag in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        # Ledger bookkeeping stayed consistent under contention.
+        assert pool.stats.allocations + pool.stats.reuses == workers * rounds * per_round
+
+    def test_concurrent_recycle_keeps_ledger_consistent(self):
+        """Acquire/recycle from many threads leaves no buffer lost or doubled."""
+        pool = BufferPool()
+        workers, rounds = 8, 50
+        barrier = threading.Barrier(workers)
+
+        def hammer() -> None:
+            barrier.wait()
+            for _ in range(rounds):
+                pool.acquire((16,), np.float64)
+                pool.recycle()
+
+        threads = [threading.Thread(target=hammer) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Every buffer ever allocated is accounted for: free or outstanding.
+        assert len(pool) == pool.stats.allocations
+        assert pool.stats.recycles == workers * rounds
 
     def test_scope_is_thread_local_and_restored(self):
         assert active_buffer_pool() is None

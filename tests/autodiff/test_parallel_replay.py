@@ -1,0 +1,358 @@
+"""Tests of the dependency-scheduled parallel replay executor.
+
+The wave scheduler levels a recording's replay steps into waves of mutually
+independent work and runs each wave on a shared thread pool sized by
+``REPRO_REPLAY_THREADS``.  The invariant under test: **every thread count
+produces byte-identical outputs, gradients and stats** — parallelism is a
+pure scheduling change, observable only through speed and the profiler.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    CapturedExecution,
+    CapturedInference,
+    EagerExecution,
+    GraphRecording,
+    InferenceHandles,
+    InferenceRecording,
+    Op,
+    Tensor,
+    TraceHandles,
+    no_grad,
+    profile_ops,
+    replay_thread_count,
+)
+from repro.autodiff import functional as F
+from repro.autodiff import ops as op_registry
+from repro.autodiff.capture import _FusedChain, _build_replay_plan
+
+_BRANCH_SCALES = (1.0, 1.25, 1.5, 1.75)
+
+
+def _wide_grad_trace(weight):
+    """Four independent elementwise branches merged into one objective."""
+
+    def trace(array: np.ndarray) -> TraceHandles:
+        x = Tensor(array, requires_grad=True, is_input=True)
+        branches = [F.sigmoid((x * scale).tanh() + 0.5) for scale in _BRANCH_SCALES]
+        merged = branches[0]
+        for branch in branches[1:]:
+            merged = merged + branch
+        return TraceHandles(objective=(merged @ weight).sum(), input=x)
+
+    return trace
+
+
+def _wide_inference_trace(weight):
+    def trace(array: np.ndarray) -> InferenceHandles:
+        with no_grad():
+            x = Tensor(array, is_input=True)
+            branches = [((x * scale).tanh().exp() + 1.0).sqrt() for scale in _BRANCH_SCALES]
+            merged = branches[0]
+            for branch in branches[1:]:
+                merged = merged + branch
+            out = merged @ weight
+        return InferenceHandles(input=x, output=out)
+
+    return trace
+
+
+class TestThreadCountKnob:
+    def test_default_is_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REPLAY_THREADS", raising=False)
+        import os
+
+        assert replay_thread_count() == (os.cpu_count() or 1)
+
+    def test_env_override_and_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPLAY_THREADS", "6")
+        assert replay_thread_count() == 6
+        monkeypatch.setenv("REPRO_REPLAY_THREADS", "0")
+        assert replay_thread_count() == 1
+
+    def test_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPLAY_THREADS", "many")
+        with pytest.raises(ValueError, match="REPRO_REPLAY_THREADS"):
+            replay_thread_count()
+
+
+class TestWavePlanner:
+    def test_independent_branches_level_into_one_wide_wave(self, rng):
+        weight = Tensor(rng.normal(size=(16, 4)), requires_grad=True, is_parameter=True)
+        trace = _wide_grad_trace(weight)
+        recording = GraphRecording(EagerExecution().run(trace, rng.normal(size=(8, 16))))
+        # One chain per branch, all at dependency level 0.
+        assert recording.max_wave_width >= len(_BRANCH_SCALES)
+        assert recording.waves >= 2  # branches, then the merge tail
+        assert recording.fused_chains >= len(_BRANCH_SCALES)
+
+    def test_sequential_chain_has_width_one(self, rng):
+        weight = Tensor(rng.normal(size=(6, 3)), requires_grad=True, is_parameter=True)
+
+        def trace(array):
+            x = Tensor(array, requires_grad=True, is_input=True)
+            return TraceHandles(objective=F.gelu(x @ weight).sum(), input=x)
+
+        recording = GraphRecording(EagerExecution().run(trace, rng.normal(size=(4, 6))))
+        assert recording.max_wave_width == 1
+        assert not recording._plan.parallelizable
+
+    def test_waves_respect_dependencies(self, rng):
+        """Every step's producers sit in strictly earlier waves."""
+        weight = Tensor(rng.normal(size=(16, 4)), requires_grad=True, is_parameter=True)
+        trace = _wide_inference_trace(weight)
+        recording = InferenceRecording(trace(rng.normal(size=(8, 16))))
+        plan = recording._plan
+        wave_of = {}
+        for wave_index, wave in enumerate(plan.waves):
+            for step_index in wave:
+                wave_of[step_index] = wave_index
+        assert sorted(wave_of) == list(range(len(plan.steps)))
+        producer = {}
+        for step_index, step in enumerate(plan.steps):
+            nodes = (
+                [call.output for call, _ in step.steps]
+                if isinstance(step, _FusedChain)
+                else [step.node]
+            )
+            for node in nodes:
+                for parent in node.parents:
+                    dep = producer.get(parent.node_id)
+                    if dep is not None and dep != step_index:
+                        assert wave_of[dep] < wave_of[step_index]
+                producer[node.node_id] = step_index
+
+    def test_concurrency_unsafe_op_gets_singleton_wave(self, rng):
+        """An op marked concurrency_safe=False never shares a wave."""
+        op = Op(
+            "test_unsafe_mul",
+            lambda inputs, params, saved, out: (
+                np.multiply(inputs[0], 2.0, out=out)
+                if out is not None
+                else inputs[0] * 2.0
+            ),
+            lambda ctx, grad: ((grad * 2.0) if ctx.needs[0] else None,),
+            elementwise=True,
+            concurrency_safe=False,
+            gradcheck_skip="test-only op, unregistered after the test",
+        )
+        op_registry.register(op)
+        try:
+
+            def trace(array):
+                x = Tensor(array, requires_grad=True, is_input=True)
+                safe = [(x * scale).tanh() for scale in _BRANCH_SCALES]
+                unsafe = op_registry.apply("test_unsafe_mul", [x])
+                merged = unsafe
+                for branch in safe:
+                    merged = merged + branch
+                return TraceHandles(objective=merged.sum(), input=x)
+
+            recording = GraphRecording(EagerExecution().run(trace, rng.normal(size=(4, 8))))
+            plan = recording._plan
+            for wave in plan.waves:
+                for index in wave:
+                    step = plan.steps[index]
+                    nodes = (
+                        [call.op.name for call, _ in step.steps]
+                        if isinstance(step, _FusedChain)
+                        else [step.node.op]
+                    )
+                    if "test_unsafe_mul" in nodes:
+                        assert len(wave) == 1, "unsafe op shared a wave"
+        finally:
+            op_registry.REGISTRY.pop("test_unsafe_mul")
+
+
+@pytest.mark.parametrize("threads", ["1", "2", "8"])
+class TestBitIdentity:
+    """Same recording, different REPRO_REPLAY_THREADS → byte-identical results."""
+
+    def test_gradient_replay(self, rng, monkeypatch, threads):
+        weight = Tensor(rng.normal(size=(16, 4)), requires_grad=True, is_parameter=True)
+        trace = _wide_grad_trace(weight)
+        eager, captured = EagerExecution(), CapturedExecution()
+        monkeypatch.setenv("REPRO_REPLAY_THREADS", threads)
+        for trial in range(4):
+            batch = rng.normal(size=(8, 16))
+            expected = eager.run(trace, batch)
+            actual = captured.run(trace, batch, key="wide")
+            np.testing.assert_array_equal(
+                np.array(expected.input.grad),
+                np.array(actual.input.grad),
+                err_msg=f"threads={threads} trial={trial}",
+            )
+            assert expected.objective.data.tobytes() == actual.objective.data.tobytes()
+        recording = next(iter(captured._recordings.values()))
+        assert recording.fused_chains >= len(_BRANCH_SCALES)
+        assert recording.max_wave_width >= len(_BRANCH_SCALES)
+
+    def test_inference_replay(self, rng, monkeypatch, threads):
+        weight = Tensor(rng.normal(size=(16, 4)), requires_grad=True, is_parameter=True)
+        trace = _wide_inference_trace(weight)
+        captured = CapturedInference()
+        monkeypatch.setenv("REPRO_REPLAY_THREADS", threads)
+        for trial in range(4):
+            batch = rng.normal(size=(8, 16))
+            expected = trace(batch).output.data.copy()
+            actual = captured.run(trace, batch, key="wide-inf").output.data
+            assert expected.tobytes() == actual.tobytes(), (
+                f"threads={threads} trial={trial}"
+            )
+        recording = next(iter(captured._recordings.values()))
+        assert recording.replays == 2  # run 1 is eager warm-up, run 2 records
+        assert recording.max_wave_width >= len(_BRANCH_SCALES)
+
+    def test_eager_fallback_path(self, rng, monkeypatch, threads):
+        """Graphs with non-replayable ops fall back to eager at any thread count."""
+        monkeypatch.setenv("REPRO_REPLAY_THREADS", threads)
+        drop_rng = np.random.default_rng(3)
+
+        def trace(array):
+            x = Tensor(array, requires_grad=True, is_input=True)
+            return TraceHandles(
+                objective=F.dropout(x.tanh(), rate=0.5, rng=drop_rng).sum(), input=x
+            )
+
+        captured = CapturedExecution()
+        for _ in range(3):
+            handles = captured.run(trace, rng.normal(size=(4, 8)), key="drop")
+            assert handles.input.grad is not None
+        assert captured.stats.fallbacks >= 1
+        assert captured.stats.replays == 0
+
+
+class TestIntraOpSharding:
+    def test_large_saved_free_chain_shards(self, rng):
+        def trace(array):
+            with no_grad():
+                x = Tensor(array, is_input=True)
+                out = ((x * 2.0 + 0.5).tanh().exp() + 1.0).sqrt()
+            return InferenceHandles(input=x, output=out)
+
+        recording = InferenceRecording(trace(rng.normal(size=(256, 256))))
+        (step,) = recording._plan.steps
+        assert isinstance(step, _FusedChain)
+        assert step.shardable
+        units = step.units(4)
+        assert len(units) == 4
+        assert recording._plan.parallelizable
+
+    def test_sharded_replay_bit_identical(self, rng, monkeypatch):
+        def trace(array):
+            with no_grad():
+                x = Tensor(array, is_input=True)
+                out = ((x * 2.0 + 0.5).tanh().exp() + 1.0).sqrt()
+            return InferenceHandles(input=x, output=out)
+
+        batch = rng.normal(size=(256, 256))
+        recording = InferenceRecording(trace(batch))
+        monkeypatch.setenv("REPRO_REPLAY_THREADS", "1")
+        serial = recording.replay(batch).output.data.copy()
+        monkeypatch.setenv("REPRO_REPLAY_THREADS", "4")
+        sharded = recording.replay(batch).output.data
+        assert serial.tobytes() == sharded.tobytes()
+        assert serial.tobytes() == trace(batch).output.data.tobytes()
+
+    def test_broadcast_operands_pass_through_whole(self, rng, monkeypatch):
+        """Size-1 and lower-rank operands must not be row-sliced."""
+        bias_row = Tensor(rng.normal(size=(1, 128)))
+        bias_vec = Tensor(rng.normal(size=(128,)))
+
+        def trace(array):
+            with no_grad():
+                x = Tensor(array, is_input=True)
+                out = ((x + bias_row) * 0.5 + bias_vec).tanh()
+            return InferenceHandles(input=x, output=out)
+
+        batch = rng.normal(size=(512, 128))
+        recording = InferenceRecording(trace(batch))
+        assert any(step.shardable for step in recording._plan.steps)
+        monkeypatch.setenv("REPRO_REPLAY_THREADS", "4")
+        replayed = recording.replay(batch).output.data
+        assert replayed.tobytes() == trace(batch).output.data.tobytes()
+
+    def test_gelu_chain_stays_unsharded(self, rng):
+        """Ops that refresh record-time saved buffers cannot shard."""
+
+        def trace(array):
+            with no_grad():
+                x = Tensor(array, is_input=True)
+                out = F.gelu(x * 2.0)
+            return InferenceHandles(input=x, output=out)
+
+        recording = InferenceRecording(trace(rng.normal(size=(256, 256))))
+        assert not any(step.shardable for step in recording._plan.steps)
+
+
+class TestParallelProfiler:
+    def test_parallel_replays_report_wave_stats(self, rng, monkeypatch):
+        weight = Tensor(rng.normal(size=(16, 4)), requires_grad=True, is_parameter=True)
+        trace = _wide_grad_trace(weight)
+        captured = CapturedExecution()
+        monkeypatch.setenv("REPRO_REPLAY_THREADS", "4")
+        with profile_ops() as profiler:
+            for _ in range(3):
+                captured.run(trace, rng.normal(size=(64, 16)), key="prof")
+        stats = profiler.as_dict()
+        assert captured.stats.replays == 1  # run 1 is eager warm-up, run 2 records
+        row = stats["captured_replay_parallel"]
+        assert row["calls"] == 1
+        meta = row["meta"]
+        assert meta["threads"] == 4
+        assert meta["waves"] >= 2
+        assert meta["max_wave_width"] >= len(_BRANCH_SCALES)
+        assert 0.0 < meta["utilization"] <= 1.0
+        assert "captured_replay_parallel" in profiler.table()
+
+    def test_serial_replays_keep_the_classic_row(self, rng, monkeypatch):
+        weight = Tensor(rng.normal(size=(16, 4)), requires_grad=True, is_parameter=True)
+        trace = _wide_grad_trace(weight)
+        captured = CapturedExecution()
+        monkeypatch.setenv("REPRO_REPLAY_THREADS", "1")
+        with profile_ops() as profiler:
+            for _ in range(3):
+                captured.run(trace, rng.normal(size=(8, 16)), key="prof")
+        stats = profiler.as_dict()
+        assert stats["captured_replay"]["calls"] == 1
+        assert "captured_replay_parallel" not in stats
+
+    def test_profiler_record_is_thread_safe(self):
+        from repro.autodiff.profiler import OpProfiler
+
+        profiler = OpProfiler()
+        per_thread, workers = 500, 8
+
+        def hammer():
+            for _ in range(per_thread):
+                profiler.record("hammer", 0.001, 10, 20, meta={"width": 3})
+
+        threads = [threading.Thread(target=hammer) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stat = profiler.as_dict()["hammer"]
+        assert stat["calls"] == per_thread * workers
+        assert stat["flops"] == 10 * per_thread * workers
+        assert stat["meta"]["width"] == 3
+
+
+class TestPlanBuilderUnits:
+    def test_plan_iterates_steps_and_counts(self, rng):
+        x = Tensor(rng.normal(size=(4, 4)), requires_grad=True, is_input=True)
+        nodes = []
+        value = x
+        for _ in range(3):
+            value = value.tanh()
+            nodes.append(value)
+        plan = _build_replay_plan(nodes)
+        assert len(plan) == 1  # one fused chain
+        assert plan.wave_count == 1
+        assert list(plan) == plan.steps

@@ -1,0 +1,116 @@
+"""Tests of scripts/compare_bench.py, the BENCH trajectory regression gate."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load_compare_bench():
+    path = _REPO_ROOT / "scripts" / "compare_bench.py"
+    spec = importlib.util.spec_from_file_location("compare_bench", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write(path: Path, metrics: dict) -> Path:
+    path.write_text(
+        json.dumps(
+            {
+                "area": "ops",
+                "git_sha": "deadbeef",
+                "replay_threads": 4,
+                "dtype": "float64",
+                "metrics": metrics,
+            }
+        )
+    )
+    return path
+
+
+class TestDirectionHeuristic:
+    def test_time_metrics_are_lower_is_better(self):
+        module = _load_compare_bench()
+        assert module.lower_is_better("chain_eager_seconds")
+        assert module.lower_is_better("kernel_dispatch_us")
+        assert not module.lower_is_better("batched_throughput_rps")
+        assert not module.lower_is_better("parallel_speedup")
+
+    def test_regression_ratio_is_direction_normalized(self):
+        module = _load_compare_bench()
+        # 20% slower and 20% less throughput both read as +0.2 regression.
+        assert module.regression_ratio("x_seconds", 1.2, 1.0) == pytest.approx(0.2)
+        assert module.regression_ratio("x_rps", 0.8, 1.0) == pytest.approx(0.2)
+        # Improvements are negative in both directions.
+        assert module.regression_ratio("x_seconds", 0.5, 1.0) < 0
+        assert module.regression_ratio("x_rps", 2.0, 1.0) < 0
+
+
+class TestGate:
+    def test_passes_within_tolerance(self, tmp_path, capsys):
+        module = _load_compare_bench()
+        previous = _write(tmp_path / "prev.json", {"replay_seconds": 1.0, "speedup": 2.0})
+        current = _write(tmp_path / "cur.json", {"replay_seconds": 1.1, "speedup": 1.9})
+        assert module.main([str(current), str(previous)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_fails_beyond_tolerance(self, tmp_path, capsys):
+        module = _load_compare_bench()
+        previous = _write(tmp_path / "prev.json", {"replay_seconds": 1.0})
+        current = _write(tmp_path / "cur.json", {"replay_seconds": 1.5})
+        assert module.main([str(current), str(previous)]) == 1
+        assert "replay_seconds" in capsys.readouterr().out
+
+    def test_throughput_drop_fails(self, tmp_path):
+        module = _load_compare_bench()
+        previous = _write(tmp_path / "prev.json", {"queries_per_second": 100.0})
+        current = _write(tmp_path / "cur.json", {"queries_per_second": 50.0})
+        assert module.main([str(current), str(previous)]) == 1
+
+    def test_custom_tolerance(self, tmp_path):
+        module = _load_compare_bench()
+        previous = _write(tmp_path / "prev.json", {"replay_seconds": 1.0})
+        current = _write(tmp_path / "cur.json", {"replay_seconds": 1.5})
+        assert module.main([str(current), str(previous), "--tolerance", "0.6"]) == 0
+
+    def test_new_and_removed_metrics_never_gate(self, tmp_path, capsys):
+        module = _load_compare_bench()
+        previous = _write(tmp_path / "prev.json", {"old_seconds": 1.0})
+        current = _write(tmp_path / "cur.json", {"new_seconds": 9.0})
+        assert module.main([str(current), str(previous)]) == 0
+        out = capsys.readouterr().out
+        assert "only in baseline" in out
+        assert "only in current" in out
+
+    def test_rejects_non_trajectory_file(self, tmp_path):
+        module = _load_compare_bench()
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"not": "a trajectory"}))
+        good = _write(tmp_path / "good.json", {"x_seconds": 1.0})
+        with pytest.raises(SystemExit, match="metrics"):
+            module.main([str(good), str(bad)])
+
+    def test_gates_the_real_trajectory_files(self, tmp_path):
+        """A BENCH file written by the bench conftest gates cleanly vs itself."""
+        conftest_path = _REPO_ROOT / "benchmarks" / "conftest.py"
+        spec = importlib.util.spec_from_file_location("bench_conftest", conftest_path)
+        bench_conftest = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(bench_conftest)
+        module = _load_compare_bench()
+        record = {
+            "area": "ops",
+            "git_sha": bench_conftest._git_sha(),
+            "replay_threads": 4,
+            "dtype": "float64",
+            "metrics": {"wide_replay_serial_seconds": 0.5, "wide_replay_parallel_speedup": 2.2},
+        }
+        path = tmp_path / "BENCH_ops.json"
+        path.write_text(json.dumps(record))
+        assert module.main([str(path), str(path)]) == 0
+        assert len(record["git_sha"]) in (7, 40) or record["git_sha"] == "unknown"
