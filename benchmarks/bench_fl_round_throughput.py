@@ -16,12 +16,15 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import BENCH_SCALE, RESULTS_DIR, run_once
+from benchmarks.conftest import BENCH_SCALE, RESULTS_DIR, run_once, write_bench_trajectory
 from repro.eval.engine import ExecutorConfig, ExperimentEngine
 from repro.eval.tables import render_run
 
 #: Round histories per backend, for the cross-backend parity assertion.
 _HISTORIES: dict[str, list] = {}
+
+#: Updates/second per backend, for the BENCH_fl.json trajectory record.
+_RATES: dict[str, float] = {}
 
 
 @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
@@ -53,3 +56,21 @@ def test_fl_round_throughput(benchmark, backend):
     for other_backend, other_rounds in _HISTORIES.items():
         assert rounds == other_rounds, f"{backend} history diverges from {other_backend}"
     _HISTORIES[backend] = rounds
+    _RATES[backend] = rate
+
+
+def test_fl_bench_trajectory():
+    """BENCH_fl.json: per-transport round throughput joins the trajectory."""
+    if not _RATES:
+        pytest.skip("no fl_fedavg throughput runs were selected in this session")
+    metrics = {
+        f"{backend}_updates_per_second": rate for backend, rate in _RATES.items()
+    }
+    # The serial rate includes any defender training on a cold cache; the
+    # parallel backends reuse it, so the trajectory also records the best
+    # parallel-over-serial ratio when both sides ran.
+    parallel = [rate for backend, rate in _RATES.items() if backend != "serial"]
+    if "serial" in _RATES and parallel and _RATES["serial"] > 0:
+        metrics["transport_speedup"] = max(parallel) / _RATES["serial"]
+    path = write_bench_trajectory("fl", metrics)
+    print(f"\nwrote {path}")

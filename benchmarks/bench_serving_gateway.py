@@ -1,0 +1,145 @@
+"""Serving-gateway tail latency: continuous batching vs static wave drainer.
+
+Runs the ``serving_tail_latency`` scenario at bench scale: an open-loop
+Poisson workload over 10^5 sealed sessions pushed through the deterministic
+event-loop gateway at several fractions of saturation capacity, once under
+continuous batching (new admissions join in-flight work at partition-stage
+boundaries) and once under the static wave drainer (the PR-4 micro-batcher
+semantics, kept as the parity baseline).
+
+Three properties are asserted, matching the gateway acceptance bar:
+
+* at the highest swept load, continuous batching's **p99 latency does not
+  exceed** the static wave drainer's — the whole point of the gateway;
+* the scenario's SLO gate passes: at the gate load, continuous batching
+  holds the SLO for the required fraction of completed requests;
+* the simulation is **deterministic** — the latency histogram digest is
+  byte-identical when the same seed and workload are replayed.
+
+The tail-latency numbers land in ``BENCH_serving.json`` next to the
+serving-throughput bench's metrics (same-SHA merge in
+``write_bench_trajectory``), extending the serving trajectory that
+``scripts/compare_bench.py`` gates CI on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import (
+    BENCH_SCALE,
+    RESULTS_DIR,
+    run_once,
+    write_bench_trajectory,
+)
+from repro.eval.engine import ExperimentEngine
+
+
+@pytest.fixture(scope="module")
+def tail_latency_record(engine: ExperimentEngine):
+    return engine.run("serving_tail_latency", scale=BENCH_SCALE)
+
+
+def _top_row(results: dict) -> dict:
+    return max(results["sweep"], key=lambda row: row["load"])
+
+
+def test_gateway_tail_latency(benchmark, engine):
+    """Continuous vs static tail latency across the offered-load sweep."""
+    record = run_once(benchmark, engine.run, "serving_tail_latency", scale=BENCH_SCALE)
+    results = record.results
+    print()
+    print(
+        f"[capacity] {results['capacity_rps']:8.1f} req/s, "
+        f"SLO {results['slo_us'] / 1000:.1f} ms, "
+        f"{results['num_sessions']:,} sealed sessions, "
+        f"{results['requests_per_load']:,} requests/point"
+    )
+    for row in results["sweep"]:
+        for policy in results["policies"]:
+            cell = row[policy]
+            print(
+                f"[{row['load']:4.2f}x {policy:10s}] "
+                f"p50={cell['p50_us'] / 1000:7.2f}ms "
+                f"p99={cell['p99_us'] / 1000:7.2f}ms "
+                f"p999={cell['p999_us'] / 1000:7.2f}ms "
+                f"slo={cell['slo_attainment'] * 100:5.1f}% "
+                f"shed={cell['shed_rate'] * 100:4.1f}%"
+            )
+    top = _top_row(results)
+    assert top["continuous"]["p99_us"] <= top["static"]["p99_us"], (
+        f"continuous p99 {top['continuous']['p99_us']:.0f}us exceeds static "
+        f"{top['static']['p99_us']:.0f}us at {top['load']:.2f}x load"
+    )
+    gate = results["gate"]
+    assert gate["passed"], f"tail-latency SLO gate failed: {gate}"
+
+
+def test_gateway_determinism(tail_latency_record, engine):
+    """Replaying one load point yields a byte-identical latency histogram."""
+    from repro.eval.engine import build_scenario
+    from repro.serve.gateway import ServingGateway, poisson_workload
+
+    results = tail_latency_record.results
+    scenario = build_scenario("serving_tail_latency", scale=BENCH_SCALE)
+    costs = engine._gateway_costs(scenario)
+    slo_us = engine._gateway_slo_us(scenario, costs)
+    params = scenario.params
+    load = float(min(params["loads"]))
+    workload = poisson_workload(
+        rate_rps=load * results["capacity_rps"],
+        requests=int(params["requests"]),
+        num_sessions=int(params["num_sessions"]),
+        seed_name=f"gateway.{scenario.name}.load{load:g}",
+    )
+    policy = engine._gateway_policy(scenario, "continuous", slo_us)
+    digests = set()
+    for _ in range(2):
+        report = ServingGateway(costs, policy).simulate(
+            workload, attested_fraction=float(params["attested_fraction"])
+        )
+        digests.add(report.digest())
+    assert len(digests) == 1, "same seed + workload produced differing histograms"
+    recorded = min(results["sweep"], key=lambda row: abs(row["load"] - load))
+    assert digests == {recorded["continuous"]["latency_digest"]}, (
+        "replayed histogram digest diverges from the recorded sweep"
+    )
+    print(f"\n[determinism] digest={next(iter(digests))[:12]} identical across replays")
+
+
+def test_gateway_bench_trajectory(tail_latency_record):
+    """BENCH_serving.json: gateway tail-latency numbers join the trajectory."""
+    results = tail_latency_record.results
+    top = _top_row(results)
+    gate_load = results["gate"]["load"]
+    gate_row = min(results["sweep"], key=lambda row: abs(row["load"] - gate_load))
+    path = write_bench_trajectory(
+        "serving",
+        {
+            "gateway_capacity_rps": results["capacity_rps"],
+            "gateway_continuous_p99_us": top["continuous"]["p99_us"],
+            "gateway_static_p99_us": top["static"]["p99_us"],
+            "gateway_continuous_p999_us": top["continuous"]["p999_us"],
+            "gateway_goodput_rps": top["continuous"]["goodput_rps"],
+            "gateway_shed_rate": top["continuous"]["shed_rate"],
+            "gateway_slo_attainment": gate_row["continuous"]["slo_attainment"],
+        },
+    )
+    print(f"\nwrote {path}")
+
+
+def test_gateway_json_record(tail_latency_record):
+    """The persisted record carries the sweep, the gate and the stage model."""
+    path = RESULTS_DIR / "runs" / "serving_tail_latency.json"
+    assert path.exists(), "serving_tail_latency record was not persisted"
+    import json
+
+    payload = json.loads(path.read_text())
+    results = payload["results"]
+    assert len(results["sweep"]) >= 3, "tail-latency sweep needs >= 3 load points"
+    for row in results["sweep"]:
+        for policy in results["policies"]:
+            for key in ("p50_us", "p99_us", "p999_us", "latency_digest"):
+                assert key in row[policy]
+    assert results["gate"]["passed"] is True
+    assert results["stages"], "stage cost model missing from the record"

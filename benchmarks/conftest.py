@@ -61,14 +61,31 @@ def write_bench_trajectory(area: str, metrics: dict) -> Path:
     count, dtype) next to its normalized metrics, so consecutive revisions'
     files form a performance trajectory that ``scripts/compare_bench.py``
     gates CI on.
+
+    Several benches may contribute to the same area (the serving-throughput
+    and serving-gateway benches both feed ``BENCH_serving.json``): when the
+    existing file carries the *same* git SHA, the new metrics merge into it
+    rather than clobbering the other bench's numbers.  A file from an older
+    revision is replaced wholesale, so the trajectory never mixes SHAs.
     """
     path = REPO_ROOT / f"BENCH_{area}.json"
+    sha = _git_sha()
+    merged = {key: float(value) for key, value in metrics.items()}
+    if path.exists():
+        try:
+            previous = json.loads(path.read_text())
+        except (OSError, ValueError):
+            previous = {}
+        if previous.get("git_sha") == sha:
+            stale = dict(previous.get("metrics", {}))
+            stale.update(merged)
+            merged = stale
     record = {
         "area": area,
-        "git_sha": _git_sha(),
+        "git_sha": sha,
         "replay_threads": replay_thread_count(),
         "dtype": str(get_default_dtype()),
-        "metrics": {key: float(value) for key, value in sorted(metrics.items())},
+        "metrics": {key: float(value) for key, value in sorted(merged.items())},
     }
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     return path

@@ -14,8 +14,8 @@ than the tolerance (default 15%), so CI can fail a PR that slows the
 replay executor or the serving path down.
 
 Direction is inferred from the metric name: ``*_seconds`` and ``*_us`` are
-lower-is-better (time), everything else — throughputs, speedups, widths —
-is higher-is-better.  Metrics present in only one file are reported but
+lower-is-better (time), as is ``*shed_rate`` (load shedding); everything
+else — throughputs, speedups, widths — is higher-is-better.  Metrics present in only one file are reported but
 never gate (a new benchmark must not fail the first revision that adds it).
 """
 
@@ -27,7 +27,7 @@ import sys
 from pathlib import Path
 
 #: Name suffixes marking a metric as lower-is-better.
-_LOWER_IS_BETTER_SUFFIXES = ("_seconds", "_us")
+_LOWER_IS_BETTER_SUFFIXES = ("_seconds", "_us", "shed_rate")
 
 
 def lower_is_better(name: str) -> bool:

@@ -18,6 +18,7 @@ Usage:  python scripts/update_experiments.py [results_dir] [EXPERIMENTS.md]
 
 from __future__ import annotations
 
+import json
 import re
 import sys
 from pathlib import Path
@@ -42,6 +43,8 @@ SECTIONS = {
     "federated": "fl_",
     "serving_throughput": "serving_throughput",
     "serving_latency_slo": "serving_latency_slo",
+    "serving_tail_latency": "serving_tail_latency",
+    "serving_soak": "serving_soak",
 }
 
 _MARKER = "<!-- BEGIN RESULTS: {key} -->"
@@ -64,6 +67,38 @@ def render_section(records: dict[str, dict], prefix: str) -> str | None:
     if not blocks:
         return None
     return "\n\n".join(blocks)
+
+
+def render_bench_trajectory(repo_root: Path) -> str | None:
+    """Markdown table of every ``BENCH_<area>.json`` at the repository root.
+
+    One row per metric, grouped by area, pinned to the git SHA the bench ran
+    under — the same files ``scripts/compare_bench.py`` gates CI on, so the
+    document always shows the numbers the gate saw last.
+    """
+    rows = []
+    for path in sorted(repo_root.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        metrics = payload.get("metrics")
+        if not isinstance(metrics, dict):
+            continue
+        sha = str(payload.get("git_sha", "?"))[:12]
+        threads = payload.get("replay_threads", "?")
+        for name, value in sorted(metrics.items()):
+            rows.append(
+                f"| {payload.get('area', path.stem)} | {name} | {float(value):,.2f} "
+                f"| {sha} | {threads} |"
+            )
+    if not rows:
+        return None
+    header = (
+        "| area | metric | value | git | replay threads |\n"
+        "|------|--------|------:|-----|---------------:|"
+    )
+    return "\n".join([header, *rows])
 
 
 def splice(document: str, key: str, content: str) -> str:
@@ -93,6 +128,14 @@ def main() -> None:
         replaced = splice(document, key, content)
         if replaced != document:
             updated.append(key)
+        document = replaced
+    trajectory = render_bench_trajectory(_REPO_ROOT)
+    if trajectory is None:
+        missing.append("bench_trajectory")
+    else:
+        replaced = splice(document, "bench_trajectory", trajectory)
+        if replaced != document:
+            updated.append("bench_trajectory")
         document = replaced
     experiments_path.write_text(document)
     print(f"EXPERIMENTS.md refreshed from {results_dir}/runs: updated {updated or 'nothing'}")

@@ -24,6 +24,7 @@ from repro.eval.engine.cache import ArtifactCache, CacheStats, stable_hash
 from repro.eval.engine.cells import model_spec, rebuild_model, run_attack_in_batches
 from repro.eval.engine.executor import BACKENDS, CellExecutor, ExecutorConfig
 from repro.eval.engine.registry import (
+    GATEWAY_SCALES,
     SCALES,
     SCENARIO_KINDS,
     SERVING_SCALES,
@@ -54,6 +55,7 @@ __all__ = [
     "CellExecutor",
     "ExecutorConfig",
     "ExperimentEngine",
+    "GATEWAY_SCALES",
     "RunRecord",
     "SCALES",
     "SCENARIO_KINDS",

@@ -35,6 +35,8 @@ SCENARIO_KINDS = (
     "robustness_curve",  # attack engine: success rate vs ε sweep
     "serving_throughput",  # serving runtime: batched vs single-request throughput
     "serving_latency",  # serving runtime: latency percentiles vs SLO target
+    "serving_tail_latency",  # gateway: p50/p99/p999 vs offered load, SLO-gated
+    "serving_soak",  # gateway: sustained open-loop soak with shedding + autoscaling
 )
 
 
@@ -574,6 +576,136 @@ def _serving_latency_slo(scale: str, overrides: dict[str, Any]) -> Scenario:
         overrides,
         target_us=50_000.0,
         waits=(0.0, 2000.0, 8000.0),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Serving-gateway scenarios (virtual-clock simulation: tail latency, soak)
+# --------------------------------------------------------------------------- #
+#: Gateway workload shape per scale.  ``requests`` is the open-loop arrival
+#: count per load point; ``num_sessions`` spans the paper-scale sealed-session
+#: population (10^4 at tiny through 10^6 at full).
+GATEWAY_SCALES: dict[str, dict[str, Any]] = {
+    "tiny": dict(
+        requests=1_500,
+        num_sessions=10_000,
+        max_batch=8,
+        replicas=2,
+        max_replicas=4,
+        loads=(0.5, 0.8, 1.05),
+        load=1.05,
+        max_queue_depth=256,
+        max_per_session=8,
+    ),
+    "bench": dict(
+        requests=20_000,
+        num_sessions=100_000,
+        max_batch=8,
+        replicas=2,
+        max_replicas=6,
+        loads=(0.5, 0.8, 0.95),
+        load=1.05,
+        max_queue_depth=512,
+        max_per_session=8,
+    ),
+    "full": dict(
+        requests=200_000,
+        num_sessions=1_000_000,
+        max_batch=16,
+        replicas=4,
+        max_replicas=12,
+        loads=(0.5, 0.8, 0.95, 1.1),
+        load=1.1,
+        max_queue_depth=1024,
+        max_per_session=8,
+    ),
+}
+
+#: Every parameter the gateway runners consume.
+_GATEWAY_PARAM_KEYS = frozenset(
+    {
+        "model",
+        "requests",
+        "num_sessions",
+        "max_batch",
+        "max_wait_us",
+        "replicas",
+        "max_replicas",
+        "autoscale",
+        "loads",
+        "load",
+        "policies",
+        "slo_us",
+        "slo_forward_multiple",
+        "attested_fraction",
+        "max_queue_depth",
+        "max_per_session",
+        "gflops",
+        "gate_load",
+        "gate_attainment",
+        "trace",
+    }
+)
+
+_GATEWAY_TUPLE_KEYS = frozenset({"loads", "policies"})
+
+
+def _gateway_scenario(
+    name: str, kind: str, scale: str, overrides: dict[str, Any], **defaults
+) -> Scenario:
+    params = dict(GATEWAY_SCALES[scale])
+    # The gateway only *calibrates* against the model (FLOP metadata), so the
+    # big simulations stay cheap; the default defender matches the serving
+    # runtime presets.
+    params["model"] = "vit_b32" if scale != "tiny" else "simple_cnn"
+    params["max_wait_us"] = 4000.0
+    params["policies"] = ("continuous", "static")
+    params["slo_us"] = None
+    params["slo_forward_multiple"] = 4.0
+    params["attested_fraction"] = 1.0
+    params["autoscale"] = False
+    params["gflops"] = 2.0
+    params.update(defaults)
+    for key in list(overrides):
+        if key in params or key in _GATEWAY_PARAM_KEYS:
+            value = overrides.pop(key)
+            if key == "loads":
+                value = tuple(float(item) for item in _as_tuple(value))
+            elif key == "policies":
+                value = tuple(str(item) for item in _as_tuple(value))
+            params[key] = value
+    config = scaled_experiment_config(scale, dataset="cifar10", **overrides)
+    return Scenario(name=name, kind=kind, config=config, params=params)
+
+
+@register_scenario(
+    "serving_tail_latency",
+    "Gateway — p50/p99/p999 vs offered load, continuous vs static batching, SLO-gated",
+)
+def _serving_tail_latency(scale: str, overrides: dict[str, Any]) -> Scenario:
+    return _gateway_scenario(
+        "serving_tail_latency",
+        "serving_tail_latency",
+        scale,
+        overrides,
+        gate_load=0.8,
+        gate_attainment=0.95,
+    )
+
+
+@register_scenario(
+    "serving_soak",
+    "Gateway — sustained open-loop soak: admission shedding, autoscaling, conservation invariants",
+)
+def _serving_soak(scale: str, overrides: dict[str, Any]) -> Scenario:
+    return _gateway_scenario(
+        "serving_soak",
+        "serving_soak",
+        scale,
+        overrides,
+        autoscale=True,
+        attested_fraction=0.98,
+        policies=("continuous",),
     )
 
 

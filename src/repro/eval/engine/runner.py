@@ -75,6 +75,8 @@ class ExperimentEngine:
             "robustness_curve": self._run_robustness_curve,
             "serving_throughput": self._run_serving_throughput,
             "serving_latency": self._run_serving_latency,
+            "serving_tail_latency": self._run_serving_tail_latency,
+            "serving_soak": self._run_serving_soak,
         }[scenario.kind]
         _LOGGER.info("running scenario %s (%s)", scenario.name, scenario.kind)
         start = time.perf_counter()
@@ -513,6 +515,200 @@ class ExperimentEngine:
                 }
             )
         return {"model": params["model"], "target_us": target_us, "sweep": rows}
+
+    # ------------------------------------------------------------------ #
+    # Serving-gateway scenarios (virtual-clock simulation)
+    # ------------------------------------------------------------------ #
+    def _gateway_costs(self, scenario: Scenario):
+        """FLOP-calibrated stage cost model of the scenario's defender.
+
+        Only the calibration touches the model (two profiled staged
+        forwards); the load itself runs on the virtual clock, which is what
+        lets the full-scale scenarios push 10^5+ requests per load point.
+        """
+        import copy
+
+        from repro.core.shielded_model import ShieldedModel
+        from repro.serve.gateway import calibrate_stage_costs
+
+        params = scenario.params
+        model = self.cache.get_defender(params["model"], scenario.config)
+        dataset = self.cache.get_dataset(scenario.config)
+        shielded = ShieldedModel(copy.deepcopy(model))
+        return calibrate_stage_costs(
+            shielded.partition,
+            dataset.test_images[:1],
+            gflops=float(params["gflops"]),
+        )
+
+    def _gateway_policy(self, scenario: Scenario, policy: str, slo_us: float):
+        from repro.serve.gateway import AdmissionPolicy, AutoscalerPolicy, GatewayPolicy
+
+        params = scenario.params
+        autoscaler = None
+        if params.get("autoscale"):
+            autoscaler = AutoscalerPolicy(
+                min_replicas=int(params["replicas"]),
+                max_replicas=int(params["max_replicas"]),
+            )
+        return GatewayPolicy(
+            policy=policy,
+            max_batch=int(params["max_batch"]),
+            max_wait_us=float(params["max_wait_us"]),
+            replicas=int(params["replicas"]),
+            slo_us=slo_us,
+            admission=AdmissionPolicy(
+                max_queue_depth=int(params["max_queue_depth"]),
+                max_per_session=int(params["max_per_session"]),
+            ),
+            autoscaler=autoscaler,
+        )
+
+    def _gateway_slo_us(self, scenario: Scenario, costs) -> float:
+        """Absolute SLO target, defaulting to a multiple of one full forward."""
+        params = scenario.params
+        if params.get("slo_us"):
+            return float(params["slo_us"])
+        return float(params["slo_forward_multiple"]) * costs.forward_us(
+            int(params["max_batch"])
+        )
+
+    def _run_serving_tail_latency(self, scenario: Scenario):
+        from repro.serve.gateway import ServingGateway, poisson_workload
+
+        params = scenario.params
+        costs = self._gateway_costs(scenario)
+        slo_us = self._gateway_slo_us(scenario, costs)
+        capacity = costs.capacity_rps(int(params["replicas"]), int(params["max_batch"]))
+        policies = tuple(params["policies"])
+        rows = []
+        for load in params["loads"]:
+            workload = poisson_workload(
+                rate_rps=float(load) * capacity,
+                requests=int(params["requests"]),
+                num_sessions=int(params["num_sessions"]),
+                seed_name=f"gateway.{scenario.name}.load{load:g}",
+            )
+            row = {"load": float(load), "offered_rps": workload.offered_rps}
+            for policy in policies:
+                gateway = ServingGateway(costs, self._gateway_policy(scenario, policy, slo_us))
+                report = gateway.simulate(
+                    workload, attested_fraction=float(params["attested_fraction"])
+                )
+                metrics = report.metrics
+                row[policy] = {
+                    "p50_us": metrics["latency"]["p50_us"],
+                    "p99_us": metrics["latency"]["p99_us"],
+                    "p999_us": metrics["latency"]["p999_us"],
+                    "mean_us": metrics["latency"]["mean_us"],
+                    "goodput_rps": metrics["goodput_rps"],
+                    "throughput_rps": metrics["throughput_rps"],
+                    "slo_attainment": metrics["slo_attainment"],
+                    "shed_rate": metrics["shed_rate"],
+                    "shed": metrics["shed"],
+                    "mean_batch_size": metrics["mean_batch_size"],
+                    "continuous_joins": metrics["continuous_joins"],
+                    "latency_digest": metrics["latency_digest"],
+                }
+                _LOGGER.info(
+                    "tail latency load=%.2f policy=%s p99=%.0fus slo=%.1f%%",
+                    load,
+                    policy,
+                    row[policy]["p99_us"],
+                    row[policy]["slo_attainment"] * 100,
+                )
+            rows.append(row)
+        gate = self._tail_latency_gate(params, rows, policies)
+        return {
+            "model": params["model"],
+            "capacity_rps": capacity,
+            "slo_us": slo_us,
+            "num_sessions": int(params["num_sessions"]),
+            "requests_per_load": int(params["requests"]),
+            "policies": list(policies),
+            "stages": costs.describe(),
+            "sweep": rows,
+            "gate": gate,
+        }
+
+    @staticmethod
+    def _tail_latency_gate(params, rows, policies) -> dict:
+        """The scenario's SLO gate: pass/fail, not just reported numbers.
+
+        * at the gate load, continuous batching must hold the SLO for at
+          least ``gate_attainment`` of completed requests;
+        * at the highest swept load, continuous p99 must not exceed the
+          static wave drainer's p99 (the whole point of the gateway).
+        """
+        gate_load = float(params["gate_load"])
+        gate_row = min(rows, key=lambda row: abs(row["load"] - gate_load))
+        attainment = gate_row.get("continuous", {}).get("slo_attainment", 0.0)
+        attainment_ok = attainment >= float(params["gate_attainment"])
+        p99_ok = True
+        if "continuous" in policies and "static" in policies:
+            top = max(rows, key=lambda row: row["load"])
+            p99_ok = top["continuous"]["p99_us"] <= top["static"]["p99_us"]
+        return {
+            "load": gate_row["load"],
+            "min_attainment": float(params["gate_attainment"]),
+            "attainment": attainment,
+            "attainment_ok": bool(attainment_ok),
+            "continuous_p99_beats_static": bool(p99_ok),
+            "passed": bool(attainment_ok and p99_ok),
+        }
+
+    def _run_serving_soak(self, scenario: Scenario):
+        from repro.serve.gateway import ServingGateway, poisson_workload, trace_workload
+
+        params = scenario.params
+        costs = self._gateway_costs(scenario)
+        slo_us = self._gateway_slo_us(scenario, costs)
+        capacity = costs.capacity_rps(int(params["replicas"]), int(params["max_batch"]))
+        if params.get("trace"):
+            workload = trace_workload(
+                params["trace"],
+                num_sessions=int(params["num_sessions"]),
+                seed_name=f"gateway.{scenario.name}.trace",
+            )
+        else:
+            workload = poisson_workload(
+                rate_rps=float(params["load"]) * capacity,
+                requests=int(params["requests"]),
+                num_sessions=int(params["num_sessions"]),
+                seed_name=f"gateway.{scenario.name}.soak",
+            )
+        policy = str(tuple(params["policies"])[0])
+        gateway = ServingGateway(costs, self._gateway_policy(scenario, policy, slo_us))
+        report = gateway.simulate(
+            workload, attested_fraction=float(params["attested_fraction"])
+        )
+        metrics = report.metrics
+        shed_total = sum(metrics["shed"].values())
+        invariants = {
+            "offered_equals_admitted_plus_shed": bool(
+                metrics["offered"] == metrics["admitted"] + shed_total
+            ),
+            "all_admitted_completed": bool(metrics["completed"] == metrics["admitted"]),
+        }
+        _LOGGER.info(
+            "soak: %d offered, %d completed, shed=%s, %d scale events, invariants=%s",
+            metrics["offered"],
+            metrics["completed"],
+            metrics["shed"],
+            len(metrics["scale_events"]),
+            invariants,
+        )
+        return {
+            "model": params["model"],
+            "policy": policy,
+            "load": float(params["load"]),
+            "capacity_rps": capacity,
+            "slo_us": slo_us,
+            "num_sessions": int(params["num_sessions"]),
+            "replicas_final": report.replicas_final,
+            "metrics": metrics,
+            "invariants": invariants,
+        }
 
     # ------------------------------------------------------------------ #
     # Federated (fl_*) scenarios

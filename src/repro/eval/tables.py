@@ -274,6 +274,10 @@ def render_run(record) -> str:
         return format_serving_throughput(results)
     if kind == "serving_latency":
         return format_serving_latency(results)
+    if kind == "serving_tail_latency":
+        return format_serving_tail_latency(results)
+    if kind == "serving_soak":
+        return format_serving_soak(results)
     raise ValueError(f"cannot render unknown scenario kind {kind!r}")
 
 
@@ -361,6 +365,67 @@ def format_serving_latency(results) -> str:
             f"SLO={row['slo_attainment'] * 100:5.1f}%  "
             f"switches/req={row['world_switches_per_request']:.2f}"
         )
+    return "\n".join(lines)
+
+
+def format_serving_tail_latency(results) -> str:
+    """Render the gateway tail-latency sweep: percentiles vs offered load."""
+    lines = [
+        f"Serving tail latency — {results.get('model', '?')} "
+        f"(capacity {results.get('capacity_rps', 0.0):.0f} req/s, "
+        f"SLO {results.get('slo_us', 0.0) / 1000.0:.1f} ms, "
+        f"{results.get('num_sessions', 0):,} sealed sessions, "
+        f"{results.get('requests_per_load', 0):,} requests/point)"
+    ]
+    for row in results.get("sweep", []):
+        lines.append(f"  offered load {row['load']:.2f}x ({row['offered_rps']:.0f} req/s)")
+        for policy in results.get("policies", ("continuous", "static")):
+            entry = row.get(policy)
+            if not entry:
+                continue
+            lines.append(
+                f"    {policy:<11} p50={entry['p50_us'] / 1000.0:7.2f}ms "
+                f"p99={entry['p99_us'] / 1000.0:7.2f}ms "
+                f"p999={entry['p999_us'] / 1000.0:8.2f}ms  "
+                f"goodput={entry['goodput_rps']:7.1f} req/s  "
+                f"SLO={entry['slo_attainment'] * 100:5.1f}%  "
+                f"shed={entry['shed_rate'] * 100:4.1f}%"
+            )
+    gate = results.get("gate", {})
+    if gate:
+        verdict = "PASS" if gate.get("passed") else "FAIL"
+        lines.append(
+            f"  gate [{verdict}]: SLO attainment {gate.get('attainment', 0.0) * 100:.1f}% "
+            f">= {gate.get('min_attainment', 0.0) * 100:.0f}% at {gate.get('load', 0.0):.2f}x load; "
+            f"continuous p99 beats static at top load: {gate.get('continuous_p99_beats_static')}"
+        )
+    return "\n".join(lines)
+
+
+def format_serving_soak(results) -> str:
+    """Render the gateway soak payload: shedding, autoscaling, invariants."""
+    metrics = results.get("metrics", {})
+    latency = metrics.get("latency", {})
+    lines = [
+        f"Serving soak — {results.get('model', '?')} "
+        f"[{results.get('policy', '?')}] at {results.get('load', 0.0):.2f}x capacity "
+        f"({results.get('num_sessions', 0):,} sealed sessions)",
+        f"  offered={metrics.get('offered', 0):,}  admitted={metrics.get('admitted', 0):,}  "
+        f"completed={metrics.get('completed', 0):,}  shed={metrics.get('shed', {})}",
+        f"  p50={latency.get('p50_us', 0.0) / 1000.0:.2f}ms  "
+        f"p99={latency.get('p99_us', 0.0) / 1000.0:.2f}ms  "
+        f"p999={latency.get('p999_us', 0.0) / 1000.0:.2f}ms  "
+        f"goodput={metrics.get('goodput_rps', 0.0):.1f} req/s  "
+        f"SLO={metrics.get('slo_attainment', 0.0) * 100:.1f}%",
+        f"  replicas: final={results.get('replicas_final', 0)} "
+        f"({len(metrics.get('scale_events', []))} scale event(s))  "
+        f"continuous joins={metrics.get('continuous_joins', 0):,}",
+    ]
+    invariants = results.get("invariants", {})
+    lines.append(
+        "  invariants: "
+        + "  ".join(f"{name}={bool(value)}" for name, value in sorted(invariants.items()))
+    )
     return "\n".join(lines)
 
 

@@ -117,14 +117,34 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list:
-        scales_width = max(len("/".join(SCALES)), len("scales"))
-        print(f"{'scenario':<22} {'kind':<19} {'scales':<{scales_width}}  description")
+        # Group by subsystem: the attack/eval engine scenarios, the
+        # federation runtime, and the serving stack (runtime + gateway).
+        groups: dict[str, list[dict]] = {"engine": [], "federated": [], "serving": []}
         for row in scenario_catalog():
-            scales = "/".join(row["scales"])
+            if row["kind"] == "federated":
+                groups["federated"].append(row)
+            elif row["kind"].startswith("serving"):
+                groups["serving"].append(row)
+            else:
+                groups["engine"].append(row)
+        scales_width = max(len("/".join(SCALES)), len("scales"))
+        kind_width = max(
+            [len("kind")] + [len(row["kind"]) for rows in groups.values() for row in rows]
+        )
+        for group, rows in groups.items():
+            if not rows:
+                continue
+            print(f"[{group}]")
             print(
-                f"{row['name']:<22} {row['kind']:<19} {scales:<{scales_width}}  "
-                f"{row['description']}"
+                f"{'scenario':<22} {'kind':<{kind_width}} {'scales':<{scales_width}}  description"
             )
+            for row in rows:
+                scales = "/".join(row["scales"])
+                print(
+                    f"{row['name']:<22} {row['kind']:<{kind_width}} {scales:<{scales_width}}  "
+                    f"{row['description']}"
+                )
+            print()
         return 0
     if args.cache_stats:
         from repro.eval.engine import ArtifactCache

@@ -26,6 +26,17 @@ from repro.serve.batching import (
     MicroBatcher,
     uniform_workload,
 )
+from repro.serve.gateway import (
+    AdmissionPolicy,
+    AutoscalerPolicy,
+    GatewayPolicy,
+    GatewayReport,
+    GatewayService,
+    ServingGateway,
+    calibrate_stage_costs,
+    poisson_workload,
+    trace_workload,
+)
 from repro.serve.runtime import ServingReport, ServingStats, ShieldedInferenceService
 from repro.serve.session import (
     SealedQuery,
@@ -36,13 +47,19 @@ from repro.serve.session import (
 from repro.serve.workers import ServingReplica, ServingWorkerPool
 
 __all__ = [
+    "AdmissionPolicy",
+    "AutoscalerPolicy",
     "BatchingPolicy",
+    "GatewayPolicy",
+    "GatewayReport",
+    "GatewayService",
     "InferenceReply",
     "InferenceRequest",
     "MicroBatch",
     "MicroBatcher",
     "SealedQuery",
     "SealedReply",
+    "ServingGateway",
     "ServingReplica",
     "ServingReport",
     "ServingSession",
@@ -50,5 +67,8 @@ __all__ = [
     "ServingWorkerPool",
     "SessionManager",
     "ShieldedInferenceService",
+    "calibrate_stage_costs",
+    "poisson_workload",
+    "trace_workload",
     "uniform_workload",
 ]

@@ -1,0 +1,68 @@
+"""Continuous-batching serving gateway with open-loop load generation.
+
+The gateway layers a deterministic, virtual-clock serving frontend on the
+micro-batching runtime: admission control after the sealed handshake
+(bounded queues, load shedding, per-session fairness), **continuous
+batching** at partition-stage boundaries, queue-depth-driven replica
+autoscaling with hysteresis, and an open-loop Poisson / trace load
+generator sized for 10^4–10^6 sealed sessions.
+
+Quick start::
+
+    from repro.serve.gateway import (
+        GatewayPolicy, ServingGateway, calibrate_stage_costs, poisson_workload,
+    )
+
+    costs = calibrate_stage_costs(partition, sample)
+    gateway = ServingGateway(costs, GatewayPolicy(policy="continuous", replicas=2))
+    load = poisson_workload(rate_rps=0.8 * gateway.capacity_rps(),
+                            requests=100_000, num_sessions=10_000)
+    report = gateway.simulate(load)
+    report.percentiles()["p999_us"]   # deterministic: same seed ⇒ same digest
+"""
+
+from repro.serve.gateway.admission import (
+    SHED_REASONS,
+    AdmissionController,
+    AdmissionPolicy,
+)
+from repro.serve.gateway.autoscaler import AutoscalerPolicy, ReplicaAutoscaler
+from repro.serve.gateway.continuous import (
+    GATEWAY_POLICIES,
+    GatewayCore,
+    GatewayPolicy,
+    GatewayRequest,
+)
+from repro.serve.gateway.costs import StageCost, StageCostModel, calibrate_stage_costs
+from repro.serve.gateway.events import EventLoop
+from repro.serve.gateway.gateway import GatewayReport, GatewayService, ServingGateway
+from repro.serve.gateway.latency import GatewayMetrics, LatencyHistogram
+from repro.serve.gateway.loadgen import (
+    OpenLoopWorkload,
+    poisson_workload,
+    trace_workload,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "AutoscalerPolicy",
+    "EventLoop",
+    "GATEWAY_POLICIES",
+    "GatewayCore",
+    "GatewayMetrics",
+    "GatewayPolicy",
+    "GatewayReport",
+    "GatewayRequest",
+    "GatewayService",
+    "LatencyHistogram",
+    "OpenLoopWorkload",
+    "ReplicaAutoscaler",
+    "SHED_REASONS",
+    "ServingGateway",
+    "StageCost",
+    "StageCostModel",
+    "calibrate_stage_costs",
+    "poisson_workload",
+    "trace_workload",
+]

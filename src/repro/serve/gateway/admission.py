@@ -1,0 +1,113 @@
+"""Admission control: bounded queues, load shedding, per-session fairness.
+
+An open-loop workload keeps arriving whether or not the service keeps up, so
+the gateway must decide *at the door* which requests it will ever work on.
+Admission runs **after** the sealed handshake — a request on a session the
+attestation gate never minted is shed as ``unattested`` before it can touch
+a queue — and enforces two bounds:
+
+* ``max_queue_depth`` — total requests admitted but not yet completed; past
+  it the gateway sheds (``queue_full``) instead of letting latency grow
+  without bound (the difference between a p999 and an outage);
+* ``max_per_session`` — in-flight requests per sealed session, so one chatty
+  client cannot starve the rest (``session_quota``).
+
+Every decision is counted; ``offered == admitted + shed`` is asserted by the
+accounting tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Shed reasons the controller can emit, in decision order.
+SHED_REASONS = ("unattested", "queue_full", "session_quota")
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Bounds the controller enforces."""
+
+    max_queue_depth: int = 256
+    max_per_session: int = 8
+
+    def __post_init__(self):
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1")
+        if self.max_per_session < 1:
+            raise ValueError("max_per_session must be at least 1")
+
+
+class AdmissionController:
+    """Admit-or-shed decisions over the gateway's in-flight population."""
+
+    def __init__(self, policy: AdmissionPolicy | None = None):
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        self._attested: set = set()
+        self._attested_below = 0
+        self._in_flight: dict = {}
+        self.depth = 0
+        self.offered = 0
+        self.admitted = 0
+        self.shed: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Session lifecycle
+    # ------------------------------------------------------------------ #
+    def attest(self, session_id) -> None:
+        """Mark a session as having completed the sealed handshake."""
+        self._attested.add(session_id)
+
+    def attest_below(self, count: int) -> None:
+        """Attest integer session keys ``0..count-1`` in O(1) space.
+
+        The simulation identifies its 10^4-10^6 sealed sessions by index;
+        a range predicate stands in for a million-entry set.
+        """
+        self._attested_below = max(int(count), 0)
+
+    def revoke(self, session_id) -> None:
+        self._attested.discard(session_id)
+
+    def is_attested(self, session_id) -> bool:
+        if session_id is None:
+            return False
+        if isinstance(session_id, (int,)) and 0 <= session_id < self._attested_below:
+            return True
+        return session_id in self._attested
+
+    # ------------------------------------------------------------------ #
+    # Decisions
+    # ------------------------------------------------------------------ #
+    def offer(self, session_id) -> str | None:
+        """Decide one arrival: ``None`` admits it, otherwise the shed reason."""
+        self.offered += 1
+        if not self.is_attested(session_id):
+            return self._shed("unattested")
+        if self.depth >= self.policy.max_queue_depth:
+            return self._shed("queue_full")
+        if self._in_flight.get(session_id, 0) >= self.policy.max_per_session:
+            return self._shed("session_quota")
+        self.admitted += 1
+        self.depth += 1
+        self._in_flight[session_id] = self._in_flight.get(session_id, 0) + 1
+        return None
+
+    def release(self, session_id) -> None:
+        """Account one admitted request's completion."""
+        if self.depth <= 0:
+            raise ValueError("release without a matching admitted request")
+        self.depth -= 1
+        if session_id is not None and session_id in self._in_flight:
+            remaining = self._in_flight[session_id] - 1
+            if remaining > 0:
+                self._in_flight[session_id] = remaining
+            else:
+                del self._in_flight[session_id]
+
+    def _shed(self, reason: str) -> str:
+        self.shed[reason] = self.shed.get(reason, 0) + 1
+        return reason
+
+    def session_in_flight(self, session_id) -> int:
+        return self._in_flight.get(session_id, 0)

@@ -1,0 +1,94 @@
+"""Queue-depth-driven replica autoscaling with hysteresis.
+
+The autoscaler watches the gateway's ready-queue backlog on a fixed virtual
+tick and adjusts the replica count between ``min_replicas`` and
+``max_replicas``.  Two guards keep it from flapping:
+
+* **watermarks** — scale up only above ``high_watermark`` queued requests
+  per replica, down only below ``low_watermark`` (the gap is the dead band);
+* **hysteresis** — a breach must persist for ``breach_ticks`` consecutive
+  ticks before acting, and after any action the scaler holds still for
+  ``cooldown_us`` of virtual time.
+
+Scale-up is also not free: a new replica becomes schedulable only after
+``startup_us`` (model load + attestation of a fresh enclave), which the
+event loop models as a provisioning delay.  Scale-down retires an idle
+replica immediately, or the next time one finishes its in-flight work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AutoscalerPolicy:
+    """Scaling bounds, watermarks and damping."""
+
+    min_replicas: int = 1
+    max_replicas: int = 8
+    #: Queued requests per replica above which the pool is under-provisioned.
+    high_watermark: float = 16.0
+    #: ... and below which it is over-provisioned.
+    low_watermark: float = 2.0
+    #: Virtual time between autoscaler evaluations.
+    tick_us: float = 50_000.0
+    #: Consecutive breaching ticks required before acting.
+    breach_ticks: int = 2
+    #: Virtual time the scaler holds still after acting.
+    cooldown_us: float = 200_000.0
+    #: Provisioning delay before a scaled-up replica serves.
+    startup_us: float = 100_000.0
+
+    def __post_init__(self):
+        if self.min_replicas < 1 or self.max_replicas < self.min_replicas:
+            raise ValueError("need 1 <= min_replicas <= max_replicas")
+        if self.low_watermark >= self.high_watermark:
+            raise ValueError("low_watermark must sit below high_watermark")
+        if self.tick_us <= 0:
+            raise ValueError("tick_us must be positive")
+
+
+class ReplicaAutoscaler:
+    """Evaluates one scaling decision per tick; the gateway applies it."""
+
+    def __init__(self, policy: AutoscalerPolicy | None = None):
+        self.policy = policy if policy is not None else AutoscalerPolicy()
+        self._high_streak = 0
+        self._low_streak = 0
+        self._cooldown_until_us = 0.0
+        self.events: list[dict] = []
+
+    def evaluate(self, now_us: float, queue_depth: int, replicas: int) -> int:
+        """Desired replica count given the backlog (equal to ``replicas`` = hold)."""
+        policy = self.policy
+        per_replica = queue_depth / max(replicas, 1)
+        if per_replica > policy.high_watermark:
+            self._high_streak += 1
+            self._low_streak = 0
+        elif per_replica < policy.low_watermark:
+            self._low_streak += 1
+            self._high_streak = 0
+        else:
+            self._high_streak = 0
+            self._low_streak = 0
+        if now_us < self._cooldown_until_us:
+            return replicas
+        target = replicas
+        if self._high_streak >= policy.breach_ticks and replicas < policy.max_replicas:
+            target = replicas + 1
+        elif self._low_streak >= policy.breach_ticks and replicas > policy.min_replicas:
+            target = replicas - 1
+        if target != replicas:
+            self._cooldown_until_us = now_us + policy.cooldown_us
+            self._high_streak = 0
+            self._low_streak = 0
+            self.events.append(
+                {
+                    "time_us": float(now_us),
+                    "from": int(replicas),
+                    "to": int(target),
+                    "queue_depth": int(queue_depth),
+                }
+            )
+        return target

@@ -1,0 +1,134 @@
+"""Open-loop load generation: Poisson and trace-file arrival processes.
+
+*Open loop* means arrivals never wait for the service: the generator draws
+the full arrival sequence up front from the offered rate (or a trace), and
+the gateway either keeps up or sheds.  That is the regime where tail
+latency means something — a closed-loop driver throttles itself exactly
+when the system is slow, hiding the queue growth a p999 is supposed to
+expose.
+
+Requests carry only integers (arrival time, session index, payload index),
+so a million-request workload is three NumPy arrays, not a million Python
+objects.  Sessions model sealed clients: ``num_sessions`` spans the 10^4 to
+10^6 "simulated sealed sessions" range, with each request assigned a session
+by a seeded draw so per-session admission quotas see realistic collisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.utils.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class OpenLoopWorkload:
+    """One generated arrival sequence (all times on the virtual clock, µs)."""
+
+    arrival_us: np.ndarray
+    session_index: np.ndarray
+    payload_index: np.ndarray
+    num_sessions: int
+    #: Nominal offered rate (requests/s); 0 for trace workloads.
+    offered_rps: float = 0.0
+
+    def __post_init__(self):
+        if len(self.arrival_us) != len(self.session_index):
+            raise ValueError("arrival and session arrays must have equal length")
+        if len(self.arrival_us) != len(self.payload_index):
+            raise ValueError("arrival and payload arrays must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.arrival_us)
+
+    def horizon_us(self) -> float:
+        """Virtual time of the last arrival (0 for an empty workload)."""
+        return float(self.arrival_us[-1]) if len(self.arrival_us) else 0.0
+
+    def session_id(self, index: int) -> str:
+        return f"session-{int(self.session_index[index])}"
+
+
+def poisson_workload(
+    rate_rps: float,
+    requests: int,
+    num_sessions: int,
+    num_payloads: int = 1,
+    seed_name: str = "gateway.loadgen",
+) -> OpenLoopWorkload:
+    """Poisson arrivals at ``rate_rps`` with seeded session / payload draws.
+
+    Determinism comes from :func:`~repro.utils.rng.derive_seed`: the same
+    global seed and ``seed_name`` always produce the same workload, which is
+    what lets two gateway runs be compared byte for byte.
+    """
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    if requests < 1:
+        raise ValueError("requests must be at least 1")
+    rng = np.random.default_rng(derive_seed(seed_name))
+    inter_us = rng.exponential(scale=1e6 / rate_rps, size=requests)
+    arrival_us = np.cumsum(inter_us)
+    sessions = rng.integers(0, max(num_sessions, 1), size=requests, dtype=np.int64)
+    payloads = rng.integers(0, max(num_payloads, 1), size=requests, dtype=np.int64)
+    return OpenLoopWorkload(
+        arrival_us=arrival_us,
+        session_index=sessions,
+        payload_index=payloads,
+        num_sessions=max(num_sessions, 1),
+        offered_rps=float(rate_rps),
+    )
+
+
+def trace_workload(
+    trace: str | Path | np.ndarray,
+    num_sessions: int | None = None,
+    num_payloads: int = 1,
+    seed_name: str = "gateway.trace",
+) -> OpenLoopWorkload:
+    """Workload from a recorded arrival trace.
+
+    ``trace`` is either an array of arrival times (µs) or a path to a text
+    file with one line per request: ``<arrival_us>`` or
+    ``<arrival_us> <session_index>``.  Session indices absent from the trace
+    are drawn with a seeded generator, like the Poisson path.
+    """
+    sessions: np.ndarray | None = None
+    if isinstance(trace, (str, Path)):
+        rows = []
+        for line in Path(trace).read_text().splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            rows.append([float(part) for part in line.split()])
+        if not rows:
+            raise ValueError(f"trace {trace} holds no arrivals")
+        arrival_us = np.array([row[0] for row in rows], dtype=np.float64)
+        if all(len(row) > 1 for row in rows):
+            sessions = np.array([int(row[1]) for row in rows], dtype=np.int64)
+    else:
+        arrival_us = np.asarray(trace, dtype=np.float64)
+    if len(arrival_us) == 0:
+        raise ValueError("trace holds no arrivals")
+    if np.any(np.diff(arrival_us) < 0):
+        raise ValueError("trace arrivals must be non-decreasing")
+    rng = np.random.default_rng(derive_seed(seed_name))
+    if sessions is None:
+        count = num_sessions if num_sessions is not None else 1
+        sessions = rng.integers(0, max(count, 1), size=len(arrival_us), dtype=np.int64)
+    resolved_sessions = (
+        int(num_sessions) if num_sessions is not None else int(sessions.max()) + 1
+    )
+    payloads = rng.integers(0, max(num_payloads, 1), size=len(arrival_us), dtype=np.int64)
+    span = arrival_us[-1] - arrival_us[0]
+    rate = (len(arrival_us) - 1) / (span / 1e6) if span > 0 else 0.0
+    return OpenLoopWorkload(
+        arrival_us=arrival_us,
+        session_index=sessions,
+        payload_index=payloads,
+        num_sessions=max(resolved_sessions, 1),
+        offered_rps=float(rate),
+    )

@@ -39,8 +39,10 @@ class TestDirectionHeuristic:
         module = _load_compare_bench()
         assert module.lower_is_better("chain_eager_seconds")
         assert module.lower_is_better("kernel_dispatch_us")
+        assert module.lower_is_better("gateway_shed_rate")
         assert not module.lower_is_better("batched_throughput_rps")
         assert not module.lower_is_better("parallel_speedup")
+        assert not module.lower_is_better("gateway_slo_attainment")
 
     def test_regression_ratio_is_direction_normalized(self):
         module = _load_compare_bench()
@@ -95,6 +97,32 @@ class TestGate:
         good = _write(tmp_path / "good.json", {"x_seconds": 1.0})
         with pytest.raises(SystemExit, match="metrics"):
             module.main([str(good), str(bad)])
+
+    def test_same_sha_trajectory_writes_merge(self, tmp_path, monkeypatch):
+        """Two benches feeding one area merge their metrics at the same SHA."""
+        conftest_path = _REPO_ROOT / "benchmarks" / "conftest.py"
+        spec = importlib.util.spec_from_file_location("bench_conftest_merge", conftest_path)
+        bench_conftest = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(bench_conftest)
+        monkeypatch.setattr(bench_conftest, "REPO_ROOT", tmp_path)
+        bench_conftest.write_bench_trajectory("serving", {"throughput_rps": 100.0})
+        path = bench_conftest.write_bench_trajectory(
+            "serving", {"gateway_p99_us": 5000.0, "throughput_rps": 120.0}
+        )
+        payload = json.loads(path.read_text())
+        # Same revision: the second writer merged in, overriding shared keys.
+        assert payload["metrics"] == {
+            "gateway_p99_us": 5000.0,
+            "throughput_rps": 120.0,
+        }
+        # A file from a different revision is replaced, never mixed.
+        stale = dict(payload, git_sha="0" * 40)
+        path.write_text(json.dumps(stale))
+        payload = json.loads(
+            bench_conftest.write_bench_trajectory("serving", {"fresh_rps": 7.0}).read_text()
+        )
+        assert payload["metrics"] == {"fresh_rps": 7.0}
+        assert payload["git_sha"] != "0" * 40
 
     def test_gates_the_real_trajectory_files(self, tmp_path):
         """A BENCH file written by the bench conftest gates cleanly vs itself."""

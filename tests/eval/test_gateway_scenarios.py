@@ -1,0 +1,109 @@
+"""Engine tests for the serving_tail_latency / serving_soak gateway scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.engine import (
+    ExperimentEngine,
+    GATEWAY_SCALES,
+    build_scenario,
+    scenario_catalog,
+)
+from repro.eval.tables import render_run
+from repro.utils.rng import set_global_seed
+
+#: Small enough for the tier-1 suite: the defender trains in seconds and the
+#: simulation itself is cheap at any request count.
+_TINY = dict(
+    train_per_class=12,
+    test_per_class=6,
+    train_epochs=2,
+    requests=400,
+    num_sessions=2000,
+    max_batch=4,
+    replicas=2,
+)
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    set_global_seed(20230913)
+
+
+class TestGatewayScenarioRegistry:
+    def test_presets_cover_every_scale(self):
+        assert set(GATEWAY_SCALES) == {"tiny", "bench", "full"}
+        # The full preset spans the paper-scale session population.
+        assert GATEWAY_SCALES["full"]["num_sessions"] >= 1_000_000
+
+    def test_build_routes_overrides(self):
+        scenario = build_scenario(
+            "serving_tail_latency", scale="tiny", max_batch=16, train_per_class=9
+        )
+        assert scenario.kind == "serving_tail_latency"
+        assert scenario.params["max_batch"] == 16
+        assert scenario.config.train_per_class == 9
+        assert len(scenario.params["loads"]) >= 3
+        assert scenario.params["policies"] == ("continuous", "static")
+
+    def test_soak_scenario_autoscales_with_partial_attestation(self):
+        scenario = build_scenario("serving_soak", scale="tiny")
+        assert scenario.kind == "serving_soak"
+        assert scenario.params["autoscale"] is True
+        assert 0.0 < scenario.params["attested_fraction"] < 1.0
+
+    def test_catalog_reports_gateway_kinds(self):
+        rows = {row["name"]: row for row in scenario_catalog()}
+        assert rows["serving_tail_latency"]["kind"] == "serving_tail_latency"
+        assert rows["serving_soak"]["kind"] == "serving_soak"
+
+
+@pytest.mark.slow
+class TestGatewayScenarioRuns:
+    def test_tail_latency_record_gate_and_render(self):
+        engine = ExperimentEngine()
+        record = engine.run("serving_tail_latency", scale="tiny", **_TINY)
+        results = record.results
+        assert len(results["sweep"]) >= 3
+        for row in results["sweep"]:
+            for policy in results["policies"]:
+                cell = row[policy]
+                assert cell["p50_us"] <= cell["p99_us"] <= cell["p999_us"]
+                assert 0.0 <= cell["slo_attainment"] <= 1.0
+                assert len(cell["latency_digest"]) == 64
+        top = max(results["sweep"], key=lambda row: row["load"])
+        assert top["continuous"]["p99_us"] <= top["static"]["p99_us"]
+        assert results["gate"]["passed"] is True
+        rendered = render_run(record)
+        assert "Serving tail latency" in rendered
+        assert "gate [PASS]" in rendered
+
+    def test_tail_latency_is_deterministic_across_runs(self):
+        engine = ExperimentEngine()
+        digests = []
+        for _ in range(2):
+            set_global_seed(20230913)
+            record = engine.run("serving_tail_latency", scale="tiny", **_TINY)
+            digests.append(
+                [
+                    (row["load"], row[policy]["latency_digest"])
+                    for row in record.results["sweep"]
+                    for policy in record.results["policies"]
+                ]
+            )
+        assert digests[0] == digests[1]
+
+    def test_soak_record_invariants_and_render(self):
+        engine = ExperimentEngine()
+        record = engine.run("serving_soak", scale="tiny", **_TINY)
+        results = record.results
+        assert results["invariants"]["offered_equals_admitted_plus_shed"] is True
+        assert results["invariants"]["all_admitted_completed"] is True
+        metrics = results["metrics"]
+        # attested_fraction < 1 guarantees unattested shedding at this scale.
+        assert metrics["shed"].get("unattested", 0) > 0
+        assert metrics["offered"] == _TINY["requests"]
+        rendered = render_run(record)
+        assert "Serving soak" in rendered
+        assert "invariants" in rendered

@@ -66,6 +66,18 @@ class TestCli:
         assert "serving_throughput" in out
         assert "federated" in out
 
+    def test_list_groups_scenarios_by_subsystem(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        # The three group headers appear, in engine -> federated -> serving
+        # order, and each scenario sits under its subsystem's header.
+        positions = {group: out.index(f"[{group}]") for group in ("engine", "federated", "serving")}
+        assert positions["engine"] < positions["federated"] < positions["serving"]
+        assert positions["engine"] < out.index("table3_cifar10") < positions["federated"]
+        assert positions["federated"] < out.index("fl_fedavg") < positions["serving"]
+        assert out.index("serving_tail_latency") > positions["serving"]
+        assert out.index("serving_soak") > positions["serving"]
+
     def test_cache_stats_on_empty_directory(self, tmp_path, capsys):
         assert main(["--cache-stats", "--results-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out

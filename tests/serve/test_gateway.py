@@ -1,0 +1,501 @@
+"""Tests for the continuous-batching serving gateway.
+
+Covers the gateway's acceptance bar from three sides:
+
+* **determinism** — same seed + offered load ⇒ byte-identical latency
+  histograms, across repeated runs and across ``REPRO_REPLAY_THREADS``;
+* **admission accounting** — ``offered == admitted + shed`` with the shed
+  reasons decided in documented order;
+* **correctness under continuous batching** — real-execution logits are
+  bit-identical between continuous batching, the static wave drainer and
+  single-request eager forwards, and the simulated world-switch count
+  matches what the real enclave boundary charges.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, no_grad
+from repro.models.simple import SimpleCNN, SimpleCNNConfig
+from repro.serve.batching import InferenceRequest
+from repro.serve.gateway import (
+    AdmissionController,
+    AdmissionPolicy,
+    AutoscalerPolicy,
+    EventLoop,
+    GatewayPolicy,
+    GatewayService,
+    LatencyHistogram,
+    ReplicaAutoscaler,
+    SHED_REASONS,
+    ServingGateway,
+    StageCost,
+    StageCostModel,
+    poisson_workload,
+    trace_workload,
+)
+from repro.utils.rng import set_global_seed
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    set_global_seed(20230913)
+
+
+def _model() -> SimpleCNN:
+    return SimpleCNN(SimpleCNNConfig(in_channels=3, num_classes=4, widths=(4, 8), image_size=8))
+
+
+def _costs(secure_first: bool = True) -> StageCostModel:
+    return StageCostModel(
+        stages=[
+            StageCost("stem", secure_first, base_us=50.0, per_sample_us=120.0,
+                      input_nbytes_per_sample=4096),
+            StageCost("trunk", False, base_us=30.0, per_sample_us=80.0,
+                      input_nbytes_per_sample=2048),
+        ]
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Event loop
+# --------------------------------------------------------------------------- #
+class TestEventLoop:
+    def test_strict_time_then_fifo_order(self):
+        loop = EventLoop()
+        order = []
+        loop.at(10.0, lambda: order.append("b"))
+        loop.at(5.0, lambda: order.append("a"))
+        loop.at(10.0, lambda: order.append("c"))
+        assert loop.run() == 3
+        assert order == ["a", "b", "c"]
+        assert loop.now_us == 10.0
+
+    def test_rejects_scheduling_in_the_past(self):
+        loop = EventLoop(start_us=100.0)
+        with pytest.raises(ValueError, match="already at"):
+            loop.at(50.0, lambda: None)
+        with pytest.raises(ValueError, match="non-negative"):
+            loop.after(-1.0, lambda: None)
+
+    def test_run_until_advances_the_clock_exactly(self):
+        loop = EventLoop()
+        loop.at(500.0, lambda: None)
+        assert loop.run(until_us=200.0) == 0
+        assert loop.now_us == 200.0
+        assert loop.run() == 1
+        assert loop.now_us == 500.0
+
+    def test_events_scheduled_during_run_execute(self):
+        loop = EventLoop()
+        seen = []
+        loop.at(1.0, lambda: loop.after(1.0, lambda: seen.append(loop.now_us)))
+        loop.run()
+        assert seen == [2.0]
+
+
+# --------------------------------------------------------------------------- #
+# Latency histogram
+# --------------------------------------------------------------------------- #
+class TestLatencyHistogram:
+    def test_quantiles_are_monotone_and_bounded(self):
+        hist = LatencyHistogram()
+        for value in [100.0, 200.0, 400.0, 800.0, 10_000.0]:
+            hist.record(value)
+        p = hist.percentiles()
+        assert p["p50_us"] <= p["p90_us"] <= p["p99_us"] <= p["p999_us"] <= p["max_us"]
+        assert p["max_us"] == 10_000.0
+        assert p["mean_us"] == pytest.approx(2300.0)
+
+    def test_quantile_error_bounded_by_bin_growth(self):
+        hist = LatencyHistogram(bins_per_octave=8)
+        for _ in range(1000):
+            hist.record(5000.0)
+        # The upper bin edge is at most one growth factor above the value.
+        assert 5000.0 <= hist.quantile(0.99) <= 5000.0 * 2 ** (1 / 8)
+
+    def test_digest_is_content_addressed(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        for value in [10.0, 20.0, 30.0]:
+            a.record(value)
+            b.record(value)
+        assert a.digest() == b.digest()
+        b.record(40.0)
+        assert a.digest() != b.digest()
+
+    def test_merge_accumulates(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.record(100.0)
+        b.record(900.0)
+        a.merge(b)
+        assert a.total == 2
+        assert a.max_us == 900.0
+        with pytest.raises(ValueError, match="bin layouts"):
+            a.merge(LatencyHistogram(bins_per_octave=4))
+
+
+# --------------------------------------------------------------------------- #
+# Load generation
+# --------------------------------------------------------------------------- #
+class TestLoadGeneration:
+    def test_poisson_is_seed_deterministic(self):
+        a = poisson_workload(1000.0, requests=500, num_sessions=100, seed_name="t.a")
+        b = poisson_workload(1000.0, requests=500, num_sessions=100, seed_name="t.a")
+        c = poisson_workload(1000.0, requests=500, num_sessions=100, seed_name="t.b")
+        np.testing.assert_array_equal(a.arrival_us, b.arrival_us)
+        np.testing.assert_array_equal(a.session_index, b.session_index)
+        assert not np.array_equal(a.arrival_us, c.arrival_us)
+
+    def test_poisson_shape_and_rate(self):
+        workload = poisson_workload(2000.0, requests=2000, num_sessions=50, seed_name="t.rate")
+        assert len(workload) == 2000
+        assert np.all(np.diff(workload.arrival_us) >= 0)
+        assert workload.session_index.max() < 50
+        # Mean inter-arrival within 10% of 1/rate over 2000 draws.
+        mean_us = workload.horizon_us() / len(workload)
+        assert mean_us == pytest.approx(500.0, rel=0.1)
+
+    def test_poisson_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="rate_rps"):
+            poisson_workload(0.0, requests=10, num_sessions=1)
+        with pytest.raises(ValueError, match="requests"):
+            poisson_workload(100.0, requests=0, num_sessions=1)
+
+    def test_trace_from_array_and_file(self, tmp_path):
+        arrivals = np.array([0.0, 100.0, 250.0, 600.0])
+        from_array = trace_workload(arrivals, num_sessions=4, seed_name="t.trace")
+        np.testing.assert_array_equal(from_array.arrival_us, arrivals)
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n0 1\n100 2\n250 1\n600 3\n")
+        from_file = trace_workload(path)
+        np.testing.assert_array_equal(from_file.arrival_us, arrivals)
+        assert list(from_file.session_index) == [1, 2, 1, 3]
+        assert from_file.num_sessions == 4
+
+    def test_trace_rejects_disorder(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            trace_workload(np.array([0.0, 50.0, 25.0]))
+
+
+# --------------------------------------------------------------------------- #
+# Admission control
+# --------------------------------------------------------------------------- #
+class TestAdmissionControl:
+    def test_decision_order(self):
+        controller = AdmissionController(AdmissionPolicy(max_queue_depth=2, max_per_session=1))
+        assert controller.offer("never-attested") == "unattested"
+        controller.attest("a")
+        controller.attest("b")
+        controller.attest("c")
+        assert controller.offer("a") is None
+        assert controller.offer("a") == "session_quota"
+        assert controller.offer("b") is None
+        # Queue full is checked before the per-session quota.
+        assert controller.offer("c") == "queue_full"
+        assert set(controller.shed) <= set(SHED_REASONS)
+
+    def test_offered_equals_admitted_plus_shed(self):
+        controller = AdmissionController(AdmissionPolicy(max_queue_depth=3, max_per_session=2))
+        controller.attest("s")
+        for _ in range(10):
+            controller.offer("s")
+        assert controller.offered == controller.admitted + sum(controller.shed.values())
+
+    def test_release_frees_quota_and_depth(self):
+        controller = AdmissionController(AdmissionPolicy(max_queue_depth=8, max_per_session=1))
+        controller.attest("s")
+        assert controller.offer("s") is None
+        assert controller.offer("s") == "session_quota"
+        controller.release("s")
+        assert controller.session_in_flight("s") == 0
+        assert controller.offer("s") is None
+
+    def test_release_without_admit_raises(self):
+        controller = AdmissionController()
+        with pytest.raises(ValueError, match="release"):
+            controller.release("s")
+
+    def test_attest_below_is_a_range_predicate(self):
+        controller = AdmissionController()
+        controller.attest_below(1000)
+        assert controller.is_attested(0)
+        assert controller.is_attested(999)
+        assert not controller.is_attested(1000)
+        assert not controller.is_attested(-1)
+        assert not controller.is_attested(None)
+        controller.attest("named")
+        assert controller.is_attested("named")
+
+
+# --------------------------------------------------------------------------- #
+# Autoscaler
+# --------------------------------------------------------------------------- #
+class TestAutoscaler:
+    _POLICY = AutoscalerPolicy(
+        min_replicas=1, max_replicas=4, high_watermark=8.0, low_watermark=1.0,
+        tick_us=1000.0, breach_ticks=2, cooldown_us=5000.0, startup_us=500.0,
+    )
+
+    def test_hysteresis_requires_consecutive_breaches(self):
+        scaler = ReplicaAutoscaler(self._POLICY)
+        assert scaler.evaluate(0.0, queue_depth=100, replicas=1) == 1
+        assert scaler.evaluate(1000.0, queue_depth=100, replicas=1) == 2
+        assert scaler.events[-1]["to"] == 2
+
+    def test_cooldown_holds_after_acting(self):
+        scaler = ReplicaAutoscaler(self._POLICY)
+        scaler.evaluate(0.0, 100, 1)
+        assert scaler.evaluate(1000.0, 100, 1) == 2
+        # Still breaching, but inside the cooldown window: hold.
+        assert scaler.evaluate(2000.0, 100, 2) == 2
+        assert scaler.evaluate(3000.0, 100, 2) == 2
+
+    def test_dead_band_never_scales(self):
+        scaler = ReplicaAutoscaler(self._POLICY)
+        for tick in range(10):
+            assert scaler.evaluate(tick * 1000.0, queue_depth=4, replicas=2) == 2
+        assert scaler.events == []
+
+    def test_scale_down_at_low_watermark(self):
+        scaler = ReplicaAutoscaler(self._POLICY)
+        assert scaler.evaluate(0.0, 0, 3) == 3
+        assert scaler.evaluate(1000.0, 0, 3) == 2
+
+    def test_bounds_are_respected(self):
+        scaler = ReplicaAutoscaler(self._POLICY)
+        assert scaler.evaluate(0.0, 1000, 4) == 4
+        assert scaler.evaluate(1000.0, 1000, 4) == 4  # already at max
+        scaler = ReplicaAutoscaler(self._POLICY)
+        assert scaler.evaluate(0.0, 0, 1) == 1
+        assert scaler.evaluate(1000.0, 0, 1) == 1  # already at min
+
+
+# --------------------------------------------------------------------------- #
+# Stage cost model
+# --------------------------------------------------------------------------- #
+class TestStageCostModel:
+    def test_crossings_charge_entry_and_exit_once(self):
+        costs = _costs(secure_first=True)
+        switches, _ = costs.stage_crossings(0, batch=4)
+        assert switches == 1  # clear -> secure entry
+        switches, _ = costs.stage_crossings(1, batch=4)
+        assert switches == 0  # the exit is charged by exit_crossing, not here
+        switches, _ = costs.exit_crossing(0, batch=4, output_nbytes_per_sample=2048)
+        assert switches == 1
+        assert costs.forward_crossings(4) == costs.forward_crossings(4)
+        total_switches, _ = costs.forward_crossings(4)
+        assert total_switches == 2  # one enter + one exit per forward
+
+    def test_clear_partition_never_crosses(self):
+        costs = _costs(secure_first=False)
+        assert costs.forward_crossings(8) == (0, 0.0)
+        assert costs.forward_us(8) == pytest.approx(
+            sum(stage.service_us(8) for stage in costs.stages)
+        )
+
+    def test_capacity_scales_with_replicas(self):
+        costs = _costs()
+        assert costs.capacity_rps(2, 8) == pytest.approx(2 * costs.capacity_rps(1, 8))
+        assert costs.capacity_rps(1, 8) > 0
+
+
+# --------------------------------------------------------------------------- #
+# Simulation: determinism, shedding, policy comparison
+# --------------------------------------------------------------------------- #
+class TestGatewaySimulation:
+    def _workload(self, load: float = 0.9, requests: int = 2000):
+        costs = _costs()
+        capacity = costs.capacity_rps(2, 4)
+        return costs, poisson_workload(
+            rate_rps=load * capacity, requests=requests, num_sessions=1000,
+            seed_name="gateway.test",
+        )
+
+    def _policy(self, policy: str = "continuous", **kwargs) -> GatewayPolicy:
+        kwargs.setdefault("max_batch", 4)
+        kwargs.setdefault("replicas", 2)
+        kwargs.setdefault("slo_us", 30_000.0)
+        return GatewayPolicy(policy=policy, **kwargs)
+
+    def test_repeated_runs_are_byte_identical(self):
+        costs, workload = self._workload()
+        digests = set()
+        for _ in range(2):
+            report = ServingGateway(costs, self._policy()).simulate(workload)
+            digests.add(report.digest())
+        assert len(digests) == 1
+
+    def test_digest_is_invariant_to_replay_threads(self):
+        """The virtual clock owes nothing to the host: REPRO_REPLAY_THREADS
+        must not change a single histogram byte."""
+        costs, workload = self._workload()
+        digests = {}
+        previous = os.environ.get("REPRO_REPLAY_THREADS")
+        try:
+            for threads in ("1", "4"):
+                os.environ["REPRO_REPLAY_THREADS"] = threads
+                report = ServingGateway(costs, self._policy()).simulate(workload)
+                digests[threads] = report.digest()
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_REPLAY_THREADS", None)
+            else:
+                os.environ["REPRO_REPLAY_THREADS"] = previous
+        assert digests["1"] == digests["4"]
+
+    def test_shed_accounting_conserves_requests(self):
+        costs, workload = self._workload(load=1.5)
+        policy = self._policy(admission=AdmissionPolicy(max_queue_depth=32, max_per_session=2))
+        report = ServingGateway(costs, policy).simulate(workload, attested_fraction=0.9)
+        metrics = report.metrics
+        shed_total = sum(metrics["shed"].values())
+        assert metrics["offered"] == len(workload)
+        assert metrics["offered"] == metrics["admitted"] + shed_total
+        assert metrics["completed"] == metrics["admitted"]
+        assert metrics["shed"]["unattested"] > 0
+        assert metrics["shed"].get("queue_full", 0) > 0
+
+    def test_unattested_sessions_never_admit(self):
+        costs, workload = self._workload(load=0.5, requests=200)
+        report = ServingGateway(costs, self._policy()).simulate(workload, attested_fraction=0.0)
+        assert report.metrics["admitted"] == 0
+        assert report.metrics["shed"] == {"unattested": 200}
+
+    def test_continuous_beats_static_p99_at_high_load(self):
+        costs, workload = self._workload(load=0.95)
+        continuous = ServingGateway(costs, self._policy("continuous")).simulate(workload)
+        static = ServingGateway(costs, self._policy("static")).simulate(workload)
+        assert continuous.percentiles()["p99_us"] <= static.percentiles()["p99_us"]
+        assert continuous.metrics["continuous_joins"] > 0
+        assert static.metrics["continuous_joins"] == 0
+
+    def test_autoscaler_reacts_to_overload(self):
+        costs, workload = self._workload(load=2.0, requests=3000)
+        policy = self._policy(
+            replicas=1,
+            admission=AdmissionPolicy(max_queue_depth=4096, max_per_session=64),
+            autoscaler=AutoscalerPolicy(
+                min_replicas=1, max_replicas=4, high_watermark=8.0, low_watermark=0.5,
+                tick_us=10_000.0, breach_ticks=2, cooldown_us=50_000.0, startup_us=20_000.0,
+            ),
+        )
+        report = ServingGateway(costs, policy).simulate(workload)
+        assert report.metrics["scale_events"], "overload never triggered a scale event"
+        assert report.metrics["scale_events"][0]["to"] > report.metrics["scale_events"][0]["from"]
+        assert report.replicas_final >= 1
+
+    def test_report_shape(self):
+        costs, workload = self._workload(load=0.5, requests=300)
+        report = ServingGateway(costs, self._policy()).simulate(workload)
+        payload = report.as_dict()
+        assert payload["policy"] == "continuous"
+        assert payload["capacity_rps"] > 0
+        assert payload["metrics"]["latency"]["p99_us"] >= payload["metrics"]["latency"]["p50_us"]
+        assert len(payload["stages"]) == 2
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            GatewayPolicy(policy="chaotic")
+
+
+# --------------------------------------------------------------------------- #
+# Real execution: logit parity and crossing accounting
+# --------------------------------------------------------------------------- #
+class TestGatewayServiceParity:
+    def _requests(self, rng, count: int = 13) -> list[InferenceRequest]:
+        inputs = rng.uniform(size=(count, 3, 8, 8))
+        return [
+            InferenceRequest(
+                request_id=index,
+                payload=inputs[index],
+                arrival_us=index * 100.0,
+                session_id="client",
+            )
+            for index in range(count)
+        ]
+
+    def _serve(self, model, requests, policy: str, **kwargs):
+        kwargs.setdefault("max_batch", 4)
+        kwargs.setdefault("replicas", 2)
+        kwargs.setdefault("admission", AdmissionPolicy(max_queue_depth=256, max_per_session=64))
+        service = GatewayService(model, GatewayPolicy(policy=policy, **kwargs))
+        service.open_session("client")
+        return service, service.serve(requests)
+
+    def test_continuous_equals_static_equals_eager(self, rng):
+        model = _model()
+        requests = self._requests(rng)
+        _, continuous = self._serve(model, requests, "continuous")
+        _, static = self._serve(model, requests, "static")
+        # Single-request eager: max_batch=1 on one replica is exactly one
+        # eager forward per query through the same partition.
+        _, single = self._serve(model, requests, "continuous", max_batch=1, replicas=1)
+        np.testing.assert_array_equal(continuous.logits(), static.logits())
+        np.testing.assert_array_equal(continuous.logits(), single.logits())
+        with no_grad():
+            eager = np.stack(
+                [model(Tensor(np.asarray(r.payload)[None], is_input=True)).data[0]
+                 for r in requests]
+            )
+        np.testing.assert_array_equal(continuous.logits(), eager)
+        assert [reply.request_id for reply in continuous.replies] == list(range(len(requests)))
+
+    def test_simulated_switches_match_real_boundary(self, rng):
+        model = _model()
+        requests = self._requests(rng, count=12)
+        for policy in ("continuous", "static"):
+            service = GatewayService(model, GatewayPolicy(
+                policy=policy, max_batch=4, replicas=2,
+                admission=AdmissionPolicy(max_queue_depth=256, max_per_session=64),
+            ))
+            service.open_session("client")
+            before = service.enclave.boundary.stats.switches
+            report = service.serve(list(requests))
+            real = service.enclave.boundary.stats.switches - before
+            assert report.metrics["world_switches"] == real, (
+                f"{policy}: simulated {report.metrics['world_switches']} switches, "
+                f"boundary charged {real}"
+            )
+            # [secure stem, clear trunk]: one enter + one exit per cohort.
+            assert real == 2 * report.metrics["batches"]
+
+    def test_sealed_roundtrip_through_the_gateway(self, rng):
+        model = _model()
+        service = GatewayService(model, GatewayPolicy(policy="continuous", max_batch=4))
+        session = service.open_session("client-a")
+        payload = rng.uniform(size=(3, 8, 8))
+        service.submit_sealed(0, session.seal_query(payload), arrival_us=0.0)
+        report = service.serve()
+        assert service.sealed_requests == 1
+        reply = report.replies[0]
+        assert reply.prediction == int(model.predict(payload[None])[0])
+        sealed_reply = service.seal_reply(reply)
+        opened = session.open_reply(sealed_reply)
+        np.testing.assert_array_equal(opened, reply.logits)
+
+    def test_unattested_sealed_query_is_shed_without_decryption(self, rng):
+        model = _model()
+        service = GatewayService(model, GatewayPolicy(policy="continuous"))
+        session = service.open_session("client-a")
+        service.submit_sealed(0, session.seal_query(rng.uniform(size=(3, 8, 8))))
+        service.admission.revoke("client-a")
+        report = service.serve()
+        assert report.metrics["shed"] == {"unattested": 1}
+        assert service.sealed_requests == 0, "a shed ciphertext was decrypted"
+        assert report.replies == []
+
+    def test_clear_gateway_serves_without_sessions(self, rng):
+        model = _model()
+        service = GatewayService(model, GatewayPolicy(policy="continuous", max_batch=4),
+                                 shielded=False)
+        inputs = rng.uniform(size=(6, 3, 8, 8))
+        report = service.serve(
+            [InferenceRequest(request_id=i, payload=inputs[i], arrival_us=i * 50.0)
+             for i in range(6)]
+        )
+        np.testing.assert_array_equal(report.predictions(), model.predict(inputs))
+        assert report.metrics["world_switches"] == 0
