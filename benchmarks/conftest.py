@@ -58,7 +58,7 @@ def write_bench_trajectory(area: str, metrics: dict) -> Path:
     """Write ``BENCH_<area>.json`` at the repo root: one revision's numbers.
 
     The file pins the context a benchmark ran under (git SHA, replay thread
-    count, dtype) next to its normalized metrics, so consecutive revisions'
+    count, cpu count, dtype) next to its normalized metrics, so consecutive revisions'
     files form a performance trajectory that ``scripts/compare_bench.py``
     gates CI on.
 
@@ -84,6 +84,7 @@ def write_bench_trajectory(area: str, metrics: dict) -> Path:
         "area": area,
         "git_sha": sha,
         "replay_threads": replay_thread_count(),
+        "cpu_count": os.cpu_count() or 1,
         "dtype": str(get_default_dtype()),
         "metrics": {key: float(value) for key, value in sorted(merged.items())},
     }

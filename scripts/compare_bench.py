@@ -17,6 +17,9 @@ Direction is inferred from the metric name: ``*_seconds`` and ``*_us`` are
 lower-is-better (time), as is ``*shed_rate`` (load shedding); everything
 else — throughputs, speedups, widths — is higher-is-better.  Metrics present in only one file are reported but
 never gate (a new benchmark must not fail the first revision that adds it).
+When both files record a ``cpu_count`` and they disagree, the runs came
+from different hosts — parallel-replay speedups are not comparable, so the
+diff is printed for the record but nothing gates.
 """
 
 from __future__ import annotations
@@ -75,6 +78,15 @@ def main(argv: list[str] | None = None) -> int:
         f"(threads {previous.get('replay_threads')} -> {current.get('replay_threads')}, "
         f"tolerance {args.tolerance:.0%})"
     )
+    cpu_now = current.get("cpu_count")
+    cpu_then = previous.get("cpu_count")
+    gated = True
+    if cpu_now is not None and cpu_then is not None and cpu_now != cpu_then:
+        gated = False
+        print(
+            f"cpu_count changed ({cpu_then} -> {cpu_now}): different hosts, "
+            "reporting only — no metric gates this comparison"
+        )
 
     failures = []
     names = sorted(set(current["metrics"]) | set(previous["metrics"]))
@@ -87,12 +99,15 @@ def main(argv: list[str] | None = None) -> int:
             continue
         regression = regression_ratio(name, float(now), float(then))
         direction = "lower" if lower_is_better(name) else "higher"
-        verdict = "FAIL" if regression > args.tolerance else "ok"
+        if regression <= args.tolerance:
+            verdict = "ok"
+        else:
+            verdict = "FAIL" if gated else "regressed (not gated: host mismatch)"
         print(
             f"  {name:<40} {then:>12.4f} -> {now:>12.4f}  "
             f"({regression:+.1%} worse, {direction}-is-better) {verdict}"
         )
-        if regression > args.tolerance:
+        if gated and regression > args.tolerance:
             failures.append((name, regression))
 
     if failures:

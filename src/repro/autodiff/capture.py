@@ -33,7 +33,13 @@ preallocated buffer and reads only upstream buffers, so wave execution is
 race-free — and since each step evaluates the same NumPy expressions on the
 same operand values regardless of interleaving, parallel replays remain
 bit-identical to serial ones.  Large saved-free elementwise chains shard
-along the batch axis as a second parallelism axis behind the same knob.
+along the batch axis as a second parallelism axis behind the same knob, and
+heavyweight kernels (conv2d, matmul, pooling) that compute in canonical
+batch bands (:mod:`repro.autodiff.sharding`) split into contiguous band
+spans, so even a single-chain conv tower fills the pool.  Fan-out and shard
+counts come from a FLOP/byte cost model rather than raw element counts;
+waves whose modeled win does not cover the executor overhead run inline on
+the caller thread — the exact serial code path.
 
 The same machinery also powers the **grad-free inference mode** used by the
 serving runtime (:mod:`repro.serve`): :class:`CapturedInference` records a
@@ -45,6 +51,7 @@ Replayed logits are bit-identical to an eager forward of the same batch.
 
 from __future__ import annotations
 
+import contextlib
 import functools
 import os
 import threading
@@ -57,6 +64,7 @@ from typing import Callable, Hashable
 import numpy as np
 
 from repro.autodiff import profiler as _profiler
+from repro.autodiff import sharding as _sharding
 from repro.autodiff.tensor import Tensor, topological_order
 from repro.utils.logging import get_logger
 
@@ -64,15 +72,6 @@ _LOGGER = get_logger("autodiff.capture")
 
 #: Names accepted by :func:`resolve_execution_backend`.
 EXECUTION_BACKENDS = ("eager", "captured")
-
-#: A fused chain only shards across threads when it moves at least this many
-#: output elements — below that, slicing overhead beats the kernel win.
-_SHARD_MIN_ELEMENTS = 1 << 15
-
-#: A wave only fans out to the executor when its steps produce at least this
-#: many elements; tiny waves (scalar tails, bias fix-ups) stay on the caller
-#: thread where they are cheaper than a future round trip.
-_PARALLEL_MIN_WAVE_ELEMENTS = 2048
 
 
 def replay_thread_count() -> int:
@@ -122,6 +121,24 @@ class GraphCaptureError(RuntimeError):
     """A recorded graph cannot be replayed (unsupported op or shape drift)."""
 
 
+def _modeled_step_seconds(node: Tensor) -> float:
+    """Modeled seconds of one replay step, from the registry's cost rules.
+
+    Steps without an op call (opaque thunks) are assumed memory-bound:
+    stream the output buffer in and out.
+    """
+    call = node._op_call
+    if call is None:
+        return _sharding.modeled_seconds(0, 2 * node.data.nbytes)
+    flops, moved = call.op.cost_of(
+        tuple(tensor.data.shape for tensor in call.tensors),
+        node.data.shape,
+        call.params,
+        node.data.dtype.itemsize,
+    )
+    return _sharding.modeled_seconds(flops, moved)
+
+
 class _ReplayNode:
     """One non-fused replay step: run the thunk, copy into the node's buffer.
 
@@ -131,7 +148,7 @@ class _ReplayNode:
     itself is wasted.
     """
 
-    __slots__ = ("node", "needs_copy", "elements")
+    __slots__ = ("node", "needs_copy", "elements", "seconds")
 
     #: Thunk steps write one opaque buffer; they never split across threads.
     shardable = False
@@ -140,6 +157,7 @@ class _ReplayNode:
         self.node = node
         self.needs_copy: bool | None = None
         self.elements = int(node.data.size)
+        self.seconds = _modeled_step_seconds(node)
 
     def run(self) -> None:
         node = self.node
@@ -154,8 +172,98 @@ class _ReplayNode:
         if self.needs_copy:
             np.copyto(node.data, new_value)
 
-    def units(self, threads: int) -> tuple:
+    def units(self, workers: int) -> tuple:
         return (self.run,)
+
+
+class _ShardedNode(_ReplayNode):
+    """A heavy registry step whose kernel computes in canonical batch bands.
+
+    Instead of one thunk call, the step can split into contiguous spans of
+    whole bands, each span running the op's ``forward_shard`` kernel into a
+    disjoint slice of the node's recorded buffer (and of any recorded saved
+    arrays, e.g. a conv's im2col matrix).  Because eager execution already
+    computed the value band by band — :func:`repro.autodiff.sharding.banded`
+    is a pure function of shapes and FLOPs — every span grouping, including
+    the unsharded ``run``, is byte-identical to the recording.
+    """
+
+    __slots__ = ("call", "band_units", "flops", "moved")
+
+    def __init__(self, node: Tensor, call, band_units: int, flops: int, moved: int):
+        super().__init__(node)
+        self.call = call
+        self.band_units = band_units
+        self.flops = flops
+        self.moved = moved
+
+    @property
+    def shardable(self) -> bool:
+        return self.band_units >= 2
+
+    def run(self) -> None:
+        call = self.call
+        inputs = tuple(tensor.data for tensor in call.tensors)
+        call.op.forward_shard(
+            inputs, call.params, call.saved, self.node.data, 0, self.band_units
+        )
+
+    def _run_span(self, shards: int, start: int, stop: int) -> None:
+        call = self.call
+        inputs = tuple(tensor.data for tensor in call.tensors)
+        profiler = _profiler.active_profiler()
+        if profiler is None:
+            call.op.forward_shard(inputs, call.params, call.saved, self.node.data, start, stop)
+            return
+        began = time.perf_counter()
+        call.op.forward_shard(inputs, call.params, call.saved, self.node.data, start, stop)
+        share = (stop - start) / self.band_units
+        profiler.record(
+            f"{call.op.name}_sharded",
+            time.perf_counter() - began,
+            int(self.flops * share),
+            int(self.moved * share),
+            meta={"shards": shards, "shard_elements": self.elements // shards},
+        )
+
+    def units(self, workers: int) -> tuple:
+        shards = _sharding.decide_shards(self.seconds, self.band_units, workers)
+        if shards < 2:
+            return (self.run,)
+        spans = _sharding.partition(self.band_units, shards)
+        return tuple(
+            functools.partial(self._run_span, shards, start, stop) for start, stop in spans
+        )
+
+
+def _sharded_step(node: Tensor) -> _ShardedNode | None:
+    """Build a :class:`_ShardedNode` when the node's op and buffers allow it.
+
+    The guards mirror the eager banding gate exactly: the op must declare
+    shard kernels, the shapes must pass its ``shard_units`` rule, and every
+    operand dtype must equal the output dtype (mixed-dtype calls take the
+    classic whole-batch kernels in eager mode, so replays must too).  Shard
+    kernels write leading-axis slices of the node's buffer in place, which
+    needs no particular memory layout — ``out[start:stop] = ...`` and
+    ``np.matmul(..., out=out[start:stop])`` are value-exact on any strides.
+    """
+    call = node._op_call
+    if call is None:
+        return None
+    op = call.op
+    if op.forward_shard is None or op.shard_units is None:
+        return None
+    data = node.data
+    if not data.flags.writeable:
+        return None
+    if any(tensor.data.dtype != data.dtype for tensor in call.tensors):
+        return None
+    in_shapes = tuple(tensor.data.shape for tensor in call.tensors)
+    units = int(op.shard_units(in_shapes, data.shape, call.params, data.itemsize))
+    if units < 2:
+        return None
+    flops, moved = op.cost_of(in_shapes, data.shape, call.params, data.itemsize)
+    return _ShardedNode(node, call, units, flops, moved)
 
 
 class _FusedChain:
@@ -173,11 +281,12 @@ class _FusedChain:
     elementwise-exact, so sharded output stays bit-identical to unsharded.
     """
 
-    __slots__ = ("steps", "elements", "_shard_batch")
+    __slots__ = ("steps", "elements", "seconds", "_shard_batch")
 
     def __init__(self, nodes: list[Tensor]):
         self.steps = [(node._op_call, node.data) for node in nodes]
         self.elements = sum(int(node.data.size) for node in nodes)
+        self.seconds = sum(_modeled_step_seconds(node) for node in nodes)
         batches = {node.data.shape[0] for node in nodes if node.data.ndim}
         sharded = (
             all(node.data.ndim for node in nodes)
@@ -192,7 +301,10 @@ class _FusedChain:
 
     @property
     def shardable(self) -> bool:
-        return self._shard_batch >= 2 and self.elements >= _SHARD_MIN_ELEMENTS
+        return (
+            self._shard_batch >= 2
+            and self.seconds >= 2 * _sharding.MIN_SHARD_SECONDS
+        )
 
     def run(self) -> None:
         for call, out in self.steps:
@@ -216,19 +328,16 @@ class _FusedChain:
             )
             call.op.forward(inputs, call.params, call.saved, out[start:stop])
 
-    def units(self, threads: int) -> tuple:
+    def units(self, workers: int) -> tuple:
         if not self.shardable:
             return (self.run,)
-        shards = min(threads, self._shard_batch)
+        shards = _sharding.decide_shards(self.seconds, self._shard_batch, workers)
         if shards < 2:
             return (self.run,)
-        size, extra = divmod(self._shard_batch, shards)
-        units, start = [], 0
-        for shard in range(shards):
-            stop = start + size + (1 if shard < extra else 0)
-            units.append(functools.partial(self.run_shard, start, stop))
-            start = stop
-        return tuple(units)
+        return tuple(
+            functools.partial(self.run_shard, start, stop)
+            for start, stop in _sharding.partition(self._shard_batch, shards)
+        )
 
 
 def _fusable(node: Tensor) -> bool:
@@ -255,7 +364,14 @@ class ReplayPlan:
     stay bit-identical to serial ones.
     """
 
-    __slots__ = ("steps", "waves", "wave_elements", "fused_chains", "fused_ops")
+    __slots__ = (
+        "steps",
+        "waves",
+        "wave_elements",
+        "wave_seconds",
+        "fused_chains",
+        "fused_ops",
+    )
 
     def __init__(
         self,
@@ -268,6 +384,9 @@ class ReplayPlan:
         self.waves = waves
         self.wave_elements = [
             sum(steps[index].elements for index in wave) for wave in waves
+        ]
+        self.wave_seconds = [
+            sum(steps[index].seconds for index in wave) for wave in waves
         ]
         self.fused_chains = fused_chains
         self.fused_ops = fused_ops
@@ -299,19 +418,22 @@ class ReplayPlan:
         for step in self.steps:
             step.run()
 
-    def execute(self, threads: int, timed: bool = False) -> float | None:
+    def execute(self, workers: int, timed: bool = False) -> float | None:
         """Run the plan wave by wave on the shared executor.
 
         Waves are barriers: every task of wave *w* completes before wave
         *w+1* starts, which is the whole scheduling invariant.  The caller
         thread always takes the first task of a wave itself, so a one-task
-        wave never touches the executor.  With ``timed`` the summed per-task
-        busy seconds are returned for the profiler's utilization figure.
+        wave never touches the executor — and a wave whose modeled win does
+        not cover the per-task overhead (:func:`~repro.autodiff.sharding.
+        fan_out_wins`) runs all its units inline, which is the exact serial
+        path.  With ``timed`` the summed per-task busy seconds are returned
+        for the profiler's utilization figure.
         """
-        if threads <= 1 or not self.parallelizable:
+        if workers <= 1 or not self.parallelizable:
             self.execute_serial()
             return None
-        executor = _shared_executor(threads)
+        executor = _shared_executor(workers)
         durations: list[float] | None = [] if timed else None
 
         def call(unit) -> None:
@@ -322,14 +444,14 @@ class ReplayPlan:
                 unit()
                 durations.append(time.perf_counter() - started)
 
-        for wave, elements in zip(self.waves, self.wave_elements):
-            if len(wave) == 1 and elements < _SHARD_MIN_ELEMENTS:
+        for wave, seconds in zip(self.waves, self.wave_seconds):
+            if len(wave) == 1 and not self.steps[wave[0]].shardable:
                 call(self.steps[wave[0]].run)
                 continue
             units: list = []
             for index in wave:
-                units.extend(self.steps[index].units(threads))
-            if len(units) == 1 or elements < _PARALLEL_MIN_WAVE_ELEMENTS:
+                units.extend(self.steps[index].units(workers))
+            if len(units) == 1 or not _sharding.fan_out_wins(seconds, len(units), workers):
                 for unit in units:
                     call(unit)
                 continue
@@ -400,7 +522,7 @@ def _build_replay_plan(nodes: list[Tensor]) -> ReplayPlan:
                 chain.append(node)
                 chain_ids.add(node.node_id)
             else:
-                steps.append(_ReplayNode(node))
+                steps.append(_sharded_step(node) or _ReplayNode(node))
                 groups.append([node])
         replayed.add(node.node_id)
     flush()
@@ -535,18 +657,29 @@ class GraphRecording:
         profiler = _profiler.active_profiler()
         started = time.perf_counter() if profiler is not None else 0.0
         np.copyto(self.input.data, inputs)
-        threads = replay_thread_count()
-        parallel = threads > 1 and self._plan.parallelizable
-        busy = self._plan.execute(threads, timed=parallel and profiler is not None)
+        workers = _sharding.effective_workers(replay_thread_count())
+        parallel = workers > 1 and self._plan.parallelizable
+        busy = self._plan.execute(workers, timed=parallel and profiler is not None)
         for node in self._order:
             node.grad = None
         # Inline of Tensor.backward over the recorded order: same seed, same
         # reversed traversal, same accumulation order — bit-identical grads.
-        self.objective._accumulate(self._seed)
-        for node in self._reversed:
-            if node.backward_fn is None or node.grad is None:
-                continue
-            node.backward_fn(node.grad)
+        # Parallel replays activate a shard runner so ops with banded
+        # backward kernels fan their band loops over the same executor;
+        # band grouping never changes values, so grads stay bit-identical.
+        scope = (
+            _sharding.runner_scope(
+                _sharding.ShardRunner(_shared_executor(workers), workers)
+            )
+            if parallel
+            else contextlib.nullcontext()
+        )
+        with scope:
+            self.objective._accumulate(self._seed)
+            for node in self._reversed:
+                if node.backward_fn is None or node.grad is None:
+                    continue
+                node.backward_fn(node.grad)
         for obj, attribute, value in self.rebinds:
             setattr(obj, attribute, value)
         self.replays += 1
@@ -556,7 +689,7 @@ class GraphRecording:
                 "captured_replay",
                 time.perf_counter() - started,
                 self._plan,
-                threads if parallel else 1,
+                workers if parallel else 1,
                 busy,
             )
         return TraceHandles(objective=self.objective, input=self.input, rebinds=self.rebinds)
@@ -705,9 +838,9 @@ class InferenceRecording:
         profiler = _profiler.active_profiler()
         started = time.perf_counter() if profiler is not None else 0.0
         np.copyto(self.input.data, inputs)
-        threads = replay_thread_count()
-        parallel = threads > 1 and self._plan.parallelizable
-        busy = self._plan.execute(threads, timed=parallel and profiler is not None)
+        workers = _sharding.effective_workers(replay_thread_count())
+        parallel = workers > 1 and self._plan.parallelizable
+        busy = self._plan.execute(workers, timed=parallel and profiler is not None)
         for obj, attribute, value in self.rebinds:
             setattr(obj, attribute, value)
         if self.on_replay is not None:
@@ -719,7 +852,7 @@ class InferenceRecording:
                 "captured_inference_replay",
                 time.perf_counter() - started,
                 self._plan,
-                threads if parallel else 1,
+                workers if parallel else 1,
                 busy,
             )
         return InferenceHandles(

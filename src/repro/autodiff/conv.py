@@ -36,6 +36,46 @@ def im2col(
     return col, out_h, out_w
 
 
+def im2col_into(
+    images: np.ndarray, kh: int, kw: int, stride: int, padding: int, out: np.ndarray
+) -> None:
+    """Unfold image patches directly into ``out`` (``(N*out_h*out_w, C*kh*kw)``).
+
+    Bit-identical to :func:`im2col` — both fill positions with pure copies of
+    the same padded-input elements — but writes the caller's buffer in place
+    (a row band of a recorded ``saved["col"]`` matrix) and draws its padded
+    scratch from the process-wide sharding scratch pool, so replays sharded
+    across threads never allocate per band.
+    """
+    from repro.autodiff import sharding as _sharding
+
+    if not out.flags.c_contiguous:
+        raise ValueError("im2col_into requires a C-contiguous out buffer")
+    n, c, h, w = images.shape
+    out_h = _output_size(h, kh, stride, padding)
+    out_w = _output_size(w, kw, stride, padding)
+    if padding:
+        pool = _sharding.scratch_pool()
+        padded = pool.take((n, c, h + 2 * padding, w + 2 * padding), images.dtype)
+        padded.fill(0)
+        padded[:, :, padding : padding + h, padding : padding + w] = images
+    else:
+        pool = None
+        padded = images
+    # ``out`` viewed as (N, out_h, out_w, C, kh, kw): position [s, oy, ox, ch,
+    # y, x] is exactly where im2col's transpose lands patch [s, ch, oy, ox].
+    col = out.reshape(n, out_h, out_w, c, kh, kw)
+    for y in range(kh):
+        y_max = y + stride * out_h
+        for x in range(kw):
+            x_max = x + stride * out_w
+            col[:, :, :, :, y, x] = padded[:, :, y:y_max:stride, x:x_max:stride].transpose(
+                0, 2, 3, 1
+            )
+    if pool is not None:
+        pool.release(padded)
+
+
 def col2im(
     col: np.ndarray,
     image_shape: tuple[int, int, int, int],

@@ -29,6 +29,7 @@ last bit.
 
 from __future__ import annotations
 
+import functools
 import time
 import weakref
 from dataclasses import dataclass, field
@@ -37,6 +38,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.autodiff import profiler as _profiler
+from repro.autodiff import sharding as _sharding
 from repro.autodiff.pool import active_buffer_pool
 from repro.autodiff.tensor import Tensor, get_default_dtype, unbroadcast
 
@@ -148,11 +150,28 @@ class Op:
     #: registered op is safe; flip this for an op that touches process-wide
     #: state and the wave planner gives its steps a singleton barrier wave.
     concurrency_safe: bool = True
-    #: Saved-free elementwise ufunc whose output rows depend only on the
-    #: matching operand rows: eligible for intra-op batch-axis sharding in
-    #: parallel replays (implies ``concurrency_safe``).  Ops that refresh
-    #: ``saved`` buffers in their forward (gelu) must stay unsharded.
+    #: Output rows depend only on the matching operand rows, so the op can
+    #: split along the batch axis in parallel replays.  True for saved-free
+    #: elementwise ufuncs (sharded inside fused chains) and for the heavy
+    #: kernels that define ``forward_shard`` below.  Elementwise ops that
+    #: refresh ``saved`` buffers in their forward (gelu) must stay unsharded.
     shardable: bool = False
+    #: ``(in_shapes, out_shape, params, itemsize) -> int``: how many canonical
+    #: band units this call's output splits into along the batch axis, or 0
+    #: when the call replays whole.  Must agree with the banding the forward
+    #: kernel applies (a pure function of shapes/FLOPs — see
+    #: :mod:`repro.autodiff.sharding`).
+    shard_units: Callable | None = None
+    #: ``(inputs, params, saved, out, start, stop)``: compute band units
+    #: ``[start, stop)`` into the matching slices of ``out`` (and of any
+    #: recorded ``saved`` buffers).  Units from any partition of the band
+    #: range compose to a byte-identical full result.
+    forward_shard: Callable | None = None
+    #: ``(ctx, grad, runner) -> grads``: backward kernel distributing its
+    #: band-parallel pieces over a :class:`~repro.autodiff.sharding.ShardRunner`.
+    #: Must be byte-identical to ``backward``; picked up only during replays
+    #: with an active runner.
+    backward_shard: Callable | None = None
     #: ``(in_shapes, out_shape, params, itemsize) -> (flops, bytes_moved)``.
     cost: Callable = _default_cost
     #: Gradient-check configurations; ops with an empty tuple must explain
@@ -311,7 +330,15 @@ def apply(op: Op | str, inputs: Sequence, params: dict | None = None) -> Tensor:
     if node.requires_grad and op.backward is not None:
 
         def backward_fn(grad: np.ndarray) -> None:
-            for tensor, parent_grad in zip(tensors, op.backward(call, grad)):
+            # Parallel replays activate a shard runner (thread-local) around
+            # the backward sweep; ops with a sharded backward fan their band
+            # loops out over it — byte-identical to the serial kernel.
+            runner = _sharding.active_runner() if op.backward_shard is not None else None
+            if runner is not None:
+                grads = op.backward_shard(call, grad, runner)
+            else:
+                grads = op.backward(call, grad)
+            for tensor, parent_grad in zip(tensors, grads):
                 if parent_grad is not None:
                     tensor._accumulate(parent_grad)
 
@@ -442,22 +469,110 @@ def _pow_backward(ctx, grad):
     return (grad * power * x ** (power - 1.0),)
 
 
+def _matmul_band_count(a_shape, b_shape) -> int:
+    """Canonical band units of ``a @ b`` along the leading axis (0 = whole).
+
+    2-D matmuls band in :data:`~repro.autodiff.sharding.MATMUL_BAND_ROWS`-row
+    groups (per-row bands would degrade the GEMM into GEMVs); stacked
+    operands (``a.ndim >= 3``) band per leading-axis sample, each band a full
+    GEMM.  ``b`` must be 2-D (shared rhs) or stacked alongside ``a`` —
+    anything fancier stays whole.  Deterministic in shapes/FLOPs only.
+    """
+    flops = 2 * _prod(a_shape) * int(b_shape[-1])
+    if len(a_shape) == 2 and len(b_shape) == 2:
+        units = -(-int(a_shape[0]) // _sharding.MATMUL_BAND_ROWS)
+    elif len(a_shape) >= 3 and (
+        len(b_shape) == 2
+        or (len(b_shape) == len(a_shape) and b_shape[0] == a_shape[0])
+    ):
+        units = int(a_shape[0])
+    else:
+        return 0
+    return units if _sharding.banded(units, flops) else 0
+
+
+def _matmul_run_bands(a, b, out, start, stop) -> None:
+    """Compute band units ``[start, stop)`` of a banded matmul into ``out``.
+
+    Every band is its own ``np.matmul`` call whatever the span grouping, so
+    any partition of the band range composes to byte-identical output.
+    """
+    if a.ndim == 2:
+        rows = out.shape[0]
+        for band in range(start, stop):
+            r0 = band * _sharding.MATMUL_BAND_ROWS
+            r1 = min(r0 + _sharding.MATMUL_BAND_ROWS, rows)
+            np.matmul(a[r0:r1], b, out=out[r0:r1])
+        return
+    stacked_b = b.ndim == a.ndim
+    for index in range(start, stop):
+        np.matmul(a[index], b[index] if stacked_b else b, out=out[index])
+
+
+def _banded_matmul(a, b, runner=None):
+    """``a @ b`` through the canonical banding rule (shared by fwd and bwd).
+
+    With ``runner`` set (a parallel replay's backward sweep), the band loop
+    fans out over the replay executor; the result is byte-identical either
+    way because shard spans only group whole canonical bands.
+    """
+    units = _matmul_band_count(a.shape, b.shape)
+    if units == 0:
+        return np.matmul(a, b)
+    result = np.empty(a.shape[:-1] + (b.shape[-1],), dtype=np.result_type(a, b))
+    if runner is None or units < 2:
+        _matmul_run_bands(a, b, result, 0, units)
+        return result
+    flops = 2 * _prod(a.shape) * int(b.shape[-1])
+    moved = (a.size + b.size + result.size) * result.itemsize
+    runner.map_bands(
+        units,
+        _sharding.modeled_seconds(flops, moved),
+        functools.partial(_matmul_run_bands, a, b, result),
+        name="matmul_grad_sharded",
+    )
+    return result
+
+
+def _matmul_shard_units(in_shapes, out_shape, params, itemsize):
+    return _matmul_band_count(in_shapes[0], in_shapes[1])
+
+
 def _matmul_forward(inputs, params, saved, out):
     a, b = inputs
-    return np.matmul(a, b, out=out) if out is not None else np.matmul(a, b)
+    units = _matmul_band_count(a.shape, b.shape)
+    if units == 0:
+        return np.matmul(a, b, out=out) if out is not None else np.matmul(a, b)
+    shape = a.shape[:-1] + (b.shape[-1],)
+    dtype = np.result_type(a, b)
+    if out is None or out.shape != shape or out.dtype != dtype:
+        out = np.empty(shape, dtype=dtype)
+    _matmul_run_bands(a, b, out, 0, units)
+    return out
 
 
-def _matmul_backward(ctx, grad):
+def _matmul_forward_shard(inputs, params, saved, out, start, stop):
+    a, b = inputs
+    _matmul_run_bands(a, b, out, start, stop)
+
+
+def _matmul_backward(ctx, grad, runner=None):
     a, b = ctx.inputs
     needs = ctx.needs
     # Each operand's gradient is a full matmul; skip the ones nobody will
-    # read (e.g. frozen parameters during attack queries).
+    # read (e.g. frozen parameters during attack queries).  grad_a routes
+    # through the canonical banding rule (its lhs rows are the batch axis);
+    # grad_b reduces *across* the batch, so it always stays whole.
     grad_a = grad_b = None
     if needs[0]:
-        grad_a = unbroadcast(np.matmul(grad, np.swapaxes(b, -1, -2)), a.shape)
+        grad_a = unbroadcast(_banded_matmul(grad, np.swapaxes(b, -1, -2), runner), a.shape)
     if needs[1]:
         grad_b = unbroadcast(np.matmul(np.swapaxes(a, -1, -2), grad), b.shape)
     return (grad_a, grad_b)
+
+
+def _matmul_backward_shard(ctx, grad, runner):
+    return _matmul_backward(ctx, grad, runner)
 
 
 # --------------------------------------------------------------------------- #
@@ -835,14 +950,98 @@ def _dropout_backward(ctx, grad):
 # --------------------------------------------------------------------------- #
 # Convolution / pooling kernels (previously in conv.py closures)
 # --------------------------------------------------------------------------- #
+def _conv2d_flops(x_shape, w_shape, stride: int, padding: int) -> int:
+    from repro.autodiff.conv import _output_size
+
+    n, _, h, w = x_shape
+    c_out, c_in, kh, kw = w_shape
+    out_h = _output_size(int(h), int(kh), stride, padding)
+    out_w = _output_size(int(w), int(kw), stride, padding)
+    return 2 * int(n) * int(c_out) * out_h * out_w * int(c_in) * int(kh) * int(kw)
+
+
+def _conv2d_band_count(inputs, params) -> int:
+    """Canonical per-sample band units for a conv2d call (0 = stay whole).
+
+    Like matmul banding, the decision is shapes/FLOPs only — plus a dtype
+    equality gate, because the banded kernel computes every band in the
+    common dtype via preallocated buffers.  Mixed-dtype calls keep the
+    classic whole-batch path (in eager mode *and* in replays, so recorded
+    values always match).
+    """
+    x, weight = inputs[0], inputs[1]
+    n = int(x.shape[0])
+    if not _sharding.banded(
+        n, _conv2d_flops(x.shape, weight.shape, params["stride"], params["padding"])
+    ):
+        return 0
+    if any(operand.dtype != x.dtype for operand in inputs[1:]):
+        return 0
+    return n
+
+
+def _conv2d_run_bands(inputs, params, col, out, start, stop) -> None:
+    """Compute samples ``[start, stop)`` of a banded conv2d into ``out``.
+
+    Each sample is one canonical band: its im2col rows land in the shared
+    ``col`` matrix (disjoint slices, race-free) and its output channels are
+    one im2col-GEMM of its own, so any contiguous grouping of samples is
+    byte-identical to any other.
+    """
+    from repro.autodiff.conv import im2col_into
+
+    x, weight = inputs[0], inputs[1]
+    bias = inputs[2] if len(inputs) > 2 else None
+    stride, padding = params["stride"], params["padding"]
+    c_out, _, kh, kw = weight.shape
+    _, _, out_h, out_w = out.shape
+    rows = out_h * out_w
+    weight_t = weight.reshape(c_out, -1).T
+    pool = _sharding.scratch_pool()
+    band = pool.take((rows, c_out), out.dtype)
+    for index in range(start, stop):
+        col_rows = col[index * rows : (index + 1) * rows]
+        im2col_into(x[index : index + 1], kh, kw, stride, padding, col_rows)
+        np.matmul(col_rows, weight_t, out=band)
+        if bias is not None:
+            band += bias.reshape(1, c_out)
+        out[index] = band.reshape(out_h, out_w, c_out).transpose(2, 0, 1)
+    pool.release(band)
+
+
+def _conv2d_shard_units(in_shapes, out_shape, params, itemsize):
+    n = int(in_shapes[0][0])
+    flops = _conv2d_flops(in_shapes[0], in_shapes[1], params["stride"], params["padding"])
+    return n if _sharding.banded(n, flops) else 0
+
+
 def _conv2d_forward(inputs, params, saved, out):
-    from repro.autodiff.conv import im2col
+    from repro.autodiff.conv import _output_size, im2col
 
     x, weight = inputs[0], inputs[1]
     bias = inputs[2] if len(inputs) > 2 else None
     stride, padding = params["stride"], params["padding"]
     c_out, _, kh, kw = weight.shape
     n = x.shape[0]
+    units = _conv2d_band_count(inputs, params)
+    if units:
+        out_h = _output_size(x.shape[2], kh, stride, padding)
+        out_w = _output_size(x.shape[3], kw, stride, padding)
+        shape = (n, c_out, out_h, out_w)
+        if (
+            out is None
+            or out.shape != shape
+            or out.dtype != x.dtype
+            or not out.flags.c_contiguous
+        ):
+            out = np.empty(shape, dtype=x.dtype)
+        col = saved.get("col")
+        col_shape = (n * out_h * out_w, weight.reshape(c_out, -1).shape[1])
+        if col is None or col.shape != col_shape or col.dtype != x.dtype:
+            col = np.empty(col_shape, dtype=x.dtype)
+            saved["col"] = col
+        _conv2d_run_bands(inputs, params, col, out, 0, units)
+        return out
     new_col, out_h, out_w = im2col(x, kh, kw, stride, padding)
     col = _refresh(saved, "col", new_col)
     weight_matrix = weight.reshape(c_out, -1)
@@ -852,7 +1051,11 @@ def _conv2d_forward(inputs, params, saved, out):
     return _store(result.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2), out)
 
 
-def _conv2d_backward(ctx, grad):
+def _conv2d_forward_shard(inputs, params, saved, out, start, stop):
+    _conv2d_run_bands(inputs, params, saved["col"], out, start, stop)
+
+
+def _conv2d_backward(ctx, grad, runner=None):
     from repro.autodiff.conv import col2im
 
     x, weight = ctx.inputs[0], ctx.inputs[1]
@@ -863,7 +1066,8 @@ def _conv2d_backward(ctx, grad):
     grad_matrix = grad.transpose(0, 2, 3, 1).reshape(-1, c_out)
     # The weight gradient is a full (C_out, C·kh·kw) matmul; skip it (and the
     # bias reduction) when the parameters are frozen, as during attack-side
-    # input-gradient queries.
+    # input-gradient queries.  Both reduce *across* the batch, so they always
+    # stay whole; only grad_x routes through canonical sample bands.
     grad_bias = None
     if bias_needs:
         bias = ctx.inputs[2]
@@ -874,10 +1078,37 @@ def _conv2d_backward(ctx, grad):
     grad_x = None
     if ctx.needs[0]:
         weight_matrix = weight.reshape(c_out, -1)
-        grad_col = grad_matrix @ weight_matrix
-        grad_x = col2im(grad_col, x.shape, kh, kw, stride, padding)
+        units = _conv2d_band_count(ctx.inputs, ctx.params)
+        if units == 0 or grad.dtype != weight.dtype:
+            grad_col = grad_matrix @ weight_matrix
+            grad_x = col2im(grad_col, x.shape, kh, kw, stride, padding)
+        else:
+            rows = grad.shape[2] * grad.shape[3]
+            grad_x = np.empty(x.shape, dtype=grad.dtype)
+            sample_shape = (1,) + x.shape[1:]
+
+            def run_bands(start: int, stop: int) -> None:
+                for index in range(start, stop):
+                    grad_col = grad_matrix[index * rows : (index + 1) * rows] @ weight_matrix
+                    grad_x[index] = col2im(grad_col, sample_shape, kh, kw, stride, padding)[0]
+
+            if runner is None:
+                run_bands(0, units)
+            else:
+                flops = _conv2d_flops(x.shape, weight.shape, stride, padding)
+                moved = (grad.size + weight.size + grad_x.size) * grad.itemsize
+                runner.map_bands(
+                    units,
+                    _sharding.modeled_seconds(flops, moved),
+                    run_bands,
+                    name="conv2d_grad_sharded",
+                )
     grads = (grad_x, grad_weight)
     return grads + (grad_bias,) if len(ctx.needs) > 2 else grads
+
+
+def _conv2d_backward_shard(ctx, grad, runner):
+    return _conv2d_backward(ctx, grad, runner)
 
 
 def _max_pool2d_forward(inputs, params, saved, out):
@@ -894,22 +1125,56 @@ def _max_pool2d_forward(inputs, params, saved, out):
     return _store(new_col.max(axis=2).reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2), out)
 
 
-def _max_pool2d_backward(ctx, grad):
+def _max_pool2d_forward_shard(inputs, params, saved, out, start, stop):
+    """Samples ``[start, stop)`` of a max pool, writing the recorded slices.
+
+    Pooling is row-independent — im2col rows are pure copies and argmax/max
+    reduce within a row — so any sample grouping is byte-identical to the
+    whole-batch kernel; no eager canonicalization is needed.
+    """
+    from repro.autodiff.conv import im2col_into
+
+    (x,) = inputs
+    kernel, stride = params["kernel"], params["stride"]
+    c = x.shape[1]
+    _, _, out_h, out_w = out.shape
+    rows = out_h * out_w
+    pool = _sharding.scratch_pool()
+    col = pool.take(((stop - start) * rows, c * kernel * kernel), x.dtype)
+    im2col_into(x[start:stop], kernel, kernel, stride, 0, col)
+    col3 = col.reshape(-1, c, kernel * kernel)
+    saved["argmax"][start * rows : stop * rows] = col3.argmax(axis=2)
+    out[start:stop] = col3.max(axis=2).reshape(stop - start, out_h, out_w, c).transpose(0, 3, 1, 2)
+    pool.release(col)
+
+
+def _max_pool2d_grad_bands(ctx, grad, grad_x, start, stop) -> None:
     from repro.autodiff.conv import col2im
 
-    if not ctx.needs[0]:
-        return (None,)
     (x,) = ctx.inputs
     kernel, stride = ctx.params["kernel"], ctx.params["stride"]
     c = x.shape[1]
-    argmax = ctx.saved["argmax"]
-    grad_flat = grad.transpose(0, 2, 3, 1).reshape(-1, c)
+    rows_per_sample = grad.shape[2] * grad.shape[3]
+    argmax = ctx.saved["argmax"][start * rows_per_sample : stop * rows_per_sample]
+    grad_flat = grad[start:stop].transpose(0, 2, 3, 1).reshape(-1, c)
     grad_col = np.zeros((grad_flat.shape[0], c, kernel * kernel), dtype=grad.dtype)
     rows = np.arange(grad_flat.shape[0])[:, None]
     cols = np.arange(c)[None, :]
     grad_col[rows, cols, argmax] = grad_flat
     grad_col = grad_col.reshape(grad_flat.shape[0], c * kernel * kernel)
-    return (col2im(grad_col, x.shape, kernel, kernel, stride, 0),)
+    grad_x[start:stop] = col2im(
+        grad_col, (stop - start,) + x.shape[1:], kernel, kernel, stride, 0
+    )
+
+
+def _max_pool2d_backward(ctx, grad, runner=None):
+    if not ctx.needs[0]:
+        return (None,)
+    return (_pool_backward_bands(ctx, grad, _max_pool2d_grad_bands, runner, "max_pool2d"),)
+
+
+def _max_pool2d_backward_shard(ctx, grad, runner):
+    return _max_pool2d_backward(ctx, grad, runner)
 
 
 def _avg_pool2d_forward(inputs, params, saved, out):
@@ -923,18 +1188,85 @@ def _avg_pool2d_forward(inputs, params, saved, out):
     return _store(new_col.mean(axis=2).reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2), out)
 
 
-def _avg_pool2d_backward(ctx, grad):
+def _avg_pool2d_forward_shard(inputs, params, saved, out, start, stop):
+    from repro.autodiff.conv import im2col_into
+
+    (x,) = inputs
+    kernel, stride = params["kernel"], params["stride"]
+    c = x.shape[1]
+    _, _, out_h, out_w = out.shape
+    rows = out_h * out_w
+    pool = _sharding.scratch_pool()
+    col = pool.take(((stop - start) * rows, c * kernel * kernel), x.dtype)
+    im2col_into(x[start:stop], kernel, kernel, stride, 0, col)
+    col3 = col.reshape(-1, c, kernel * kernel)
+    out[start:stop] = col3.mean(axis=2).reshape(stop - start, out_h, out_w, c).transpose(0, 3, 1, 2)
+    pool.release(col)
+
+
+def _avg_pool2d_grad_bands(ctx, grad, grad_x, start, stop) -> None:
     from repro.autodiff.conv import col2im
 
-    if not ctx.needs[0]:
-        return (None,)
     (x,) = ctx.inputs
     kernel, stride = ctx.params["kernel"], ctx.params["stride"]
     c = x.shape[1]
-    grad_flat = grad.transpose(0, 2, 3, 1).reshape(-1, c)
+    grad_flat = grad[start:stop].transpose(0, 2, 3, 1).reshape(-1, c)
     grad_col = np.repeat(grad_flat[:, :, None], kernel * kernel, axis=2) / (kernel * kernel)
     grad_col = grad_col.reshape(grad_flat.shape[0], c * kernel * kernel)
-    return (col2im(grad_col, x.shape, kernel, kernel, stride, 0),)
+    grad_x[start:stop] = col2im(
+        grad_col, (stop - start,) + x.shape[1:], kernel, kernel, stride, 0
+    )
+
+
+def _avg_pool2d_backward(ctx, grad, runner=None):
+    if not ctx.needs[0]:
+        return (None,)
+    return (_pool_backward_bands(ctx, grad, _avg_pool2d_grad_bands, runner, "avg_pool2d"),)
+
+
+def _avg_pool2d_backward_shard(ctx, grad, runner):
+    return _avg_pool2d_backward(ctx, grad, runner)
+
+
+def _pool_backward_bands(ctx, grad, band_fn, runner, op_name: str) -> np.ndarray:
+    """Run a pool backward over sample spans, fanning out when a runner is set.
+
+    The per-span scatter + col2im touches each sample independently with the
+    same inner loop order as the whole-batch version, so the result is
+    byte-identical at any span grouping — runner or not.
+    """
+    (x,) = ctx.inputs
+    n = x.shape[0]
+    grad_x = np.empty(x.shape, dtype=grad.dtype)
+    fn = functools.partial(band_fn, ctx, grad, grad_x)
+    if runner is None or n < 2:
+        fn(0, n)
+        return grad_x
+    kernel = int(ctx.params["kernel"])
+    flops = grad.size * kernel * kernel
+    moved = (x.size + grad.size + grad_x.size) * grad.itemsize
+    runner.map_bands(
+        n, _sharding.modeled_seconds(flops, moved), fn, name=f"{op_name}_grad_sharded"
+    )
+    return grad_x
+
+
+def _pool_shard_units(in_shapes, out_shape, params, itemsize):
+    """Pools band per sample whenever the modeled step is worth splitting.
+
+    Unlike conv/matmul there is no eager canonicalization to stay consistent
+    with — pooling is bitwise stable under any grouping — so the gate is
+    purely a cost threshold.
+    """
+    n = int(in_shapes[0][0])
+    if n < 2:
+        return 0
+    flops, moved = _pool_cost(in_shapes, out_shape, params, itemsize)
+    if _sharding.banded(n, flops):
+        return n
+    if _sharding.modeled_seconds(flops, moved) < 2 * _sharding.MIN_SHARD_SECONDS:
+        return 0
+    return n
 
 
 # --------------------------------------------------------------------------- #
@@ -981,6 +1313,10 @@ register(
         "matmul",
         _matmul_forward,
         _matmul_backward,
+        shardable=True,
+        shard_units=_matmul_shard_units,
+        forward_shard=_matmul_forward_shard,
+        backward_shard=_matmul_backward_shard,
         cost=_matmul_cost,
         samples=(
             GradSample(shapes=((3, 4), (4, 5))),
@@ -1224,6 +1560,10 @@ register(
         "conv2d",
         _conv2d_forward,
         _conv2d_backward,
+        shardable=True,
+        shard_units=_conv2d_shard_units,
+        forward_shard=_conv2d_forward_shard,
+        backward_shard=_conv2d_backward_shard,
         cost=_conv2d_cost,
         samples=(
             GradSample(shapes=((2, 3, 5, 5), (4, 3, 3, 3)), params={"stride": 1, "padding": 0}),
@@ -1238,6 +1578,10 @@ register(
         "max_pool2d",
         _max_pool2d_forward,
         _max_pool2d_backward,
+        shardable=True,
+        shard_units=_pool_shard_units,
+        forward_shard=_max_pool2d_forward_shard,
+        backward_shard=_max_pool2d_backward_shard,
         cost=_pool_cost,
         samples=(GradSample(shapes=((2, 3, 4, 4),), params={"kernel": 2, "stride": 2}),),
     )
@@ -1247,6 +1591,10 @@ register(
         "avg_pool2d",
         _avg_pool2d_forward,
         _avg_pool2d_backward,
+        shardable=True,
+        shard_units=_pool_shard_units,
+        forward_shard=_avg_pool2d_forward_shard,
+        backward_shard=_avg_pool2d_backward_shard,
         cost=_pool_cost,
         samples=(GradSample(shapes=((2, 3, 4, 4),), params={"kernel": 2, "stride": 2}),),
     )

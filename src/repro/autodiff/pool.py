@@ -77,8 +77,27 @@ class BufferPool:
             self._outstanding.append(buffer)
         return buffer
 
+    def take(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """A scratch buffer *outside* the arena generations.
+
+        Unlike :meth:`acquire`, the buffer is not added to the outstanding
+        ledger, so :meth:`recycle` never reclaims it out from under the
+        caller: the caller owns it until it hands it back with
+        :meth:`release`.  This is the contract sharded replay kernels need —
+        a take/release pair scoped to one kernel call, possibly on an
+        executor worker thread that never activated any thread-local pool.
+        """
+        key = (tuple(shape), np.dtype(dtype).str)
+        with self._lock:
+            free = self._free.get(key)
+            if free:
+                self.stats.reuses += 1
+                return free.pop()
+            self.stats.allocations += 1
+        return np.empty(shape, dtype=dtype)
+
     def release(self, buffer: np.ndarray) -> None:
-        """Return one buffer to its free list (rare; prefer :meth:`recycle`)."""
+        """Return one buffer to its free list (pairs with :meth:`take`)."""
         key = (buffer.shape, buffer.dtype.str)
         with self._lock:
             self._free.setdefault(key, []).append(buffer)

@@ -179,6 +179,8 @@ class TestBitIdentity:
         trace = _wide_grad_trace(weight)
         eager, captured = EagerExecution(), CapturedExecution()
         monkeypatch.setenv("REPRO_REPLAY_THREADS", threads)
+        # Exercise the real parallel machinery even on few-core CI hosts.
+        monkeypatch.setenv("REPRO_REPLAY_FORCE_PARALLEL", "1")
         for trial in range(4):
             batch = rng.normal(size=(8, 16))
             expected = eager.run(trace, batch)
@@ -198,6 +200,7 @@ class TestBitIdentity:
         trace = _wide_inference_trace(weight)
         captured = CapturedInference()
         monkeypatch.setenv("REPRO_REPLAY_THREADS", threads)
+        monkeypatch.setenv("REPRO_REPLAY_FORCE_PARALLEL", "1")
         for trial in range(4):
             batch = rng.normal(size=(8, 16))
             expected = trace(batch).output.data.copy()
@@ -253,6 +256,7 @@ class TestIntraOpSharding:
 
         batch = rng.normal(size=(256, 256))
         recording = InferenceRecording(trace(batch))
+        monkeypatch.setenv("REPRO_REPLAY_FORCE_PARALLEL", "1")
         monkeypatch.setenv("REPRO_REPLAY_THREADS", "1")
         serial = recording.replay(batch).output.data.copy()
         monkeypatch.setenv("REPRO_REPLAY_THREADS", "4")
@@ -274,6 +278,7 @@ class TestIntraOpSharding:
         batch = rng.normal(size=(512, 128))
         recording = InferenceRecording(trace(batch))
         assert any(step.shardable for step in recording._plan.steps)
+        monkeypatch.setenv("REPRO_REPLAY_FORCE_PARALLEL", "1")
         monkeypatch.setenv("REPRO_REPLAY_THREADS", "4")
         replayed = recording.replay(batch).output.data
         assert replayed.tobytes() == trace(batch).output.data.tobytes()
@@ -296,6 +301,7 @@ class TestParallelProfiler:
         weight = Tensor(rng.normal(size=(16, 4)), requires_grad=True, is_parameter=True)
         trace = _wide_grad_trace(weight)
         captured = CapturedExecution()
+        monkeypatch.setenv("REPRO_REPLAY_FORCE_PARALLEL", "1")
         monkeypatch.setenv("REPRO_REPLAY_THREADS", "4")
         with profile_ops() as profiler:
             for _ in range(3):

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import importlib.util
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -90,6 +91,30 @@ class TestGate:
         assert "only in baseline" in out
         assert "only in current" in out
 
+    def test_cpu_count_mismatch_reports_without_gating(self, tmp_path, capsys):
+        """Runs from different hosts never gate — speedups aren't comparable."""
+        module = _load_compare_bench()
+        previous = _write(tmp_path / "prev.json", {"replay_seconds": 1.0})
+        current = _write(tmp_path / "cur.json", {"replay_seconds": 2.0})
+        for path, cpus in ((previous, 8), (current, 1)):
+            payload = json.loads(path.read_text())
+            payload["cpu_count"] = cpus
+            path.write_text(json.dumps(payload))
+        assert module.main([str(current), str(previous)]) == 0
+        out = capsys.readouterr().out
+        assert "cpu_count changed" in out
+        assert "host mismatch" in out
+
+    def test_matching_cpu_count_still_gates(self, tmp_path):
+        module = _load_compare_bench()
+        previous = _write(tmp_path / "prev.json", {"replay_seconds": 1.0})
+        current = _write(tmp_path / "cur.json", {"replay_seconds": 2.0})
+        for path in (previous, current):
+            payload = json.loads(path.read_text())
+            payload["cpu_count"] = 8
+            path.write_text(json.dumps(payload))
+        assert module.main([str(current), str(previous)]) == 1
+
     def test_rejects_non_trajectory_file(self, tmp_path):
         module = _load_compare_bench()
         bad = tmp_path / "bad.json"
@@ -115,6 +140,7 @@ class TestGate:
             "gateway_p99_us": 5000.0,
             "throughput_rps": 120.0,
         }
+        assert payload["cpu_count"] == (os.cpu_count() or 1)
         # A file from a different revision is replaced, never mixed.
         stale = dict(payload, git_sha="0" * 40)
         path.write_text(json.dumps(stale))
