@@ -223,8 +223,12 @@ def _best_interleaved(sweep, threads=(1, 4), rounds=5) -> dict[int, float]:
     for thread_count in threads:
         with _replay_threads(thread_count):
             sweep()  # warm-up (spins the executor up once per config)
-    for _ in range(rounds):
-        for thread_count in threads:
+    for round_index in range(rounds):
+        # Reverse the order every other round: whichever config runs second
+        # within a round would otherwise systematically absorb any
+        # within-round slowdown (frequency decay, cache pressure).
+        order = threads if round_index % 2 == 0 else tuple(reversed(threads))
+        for thread_count in order:
             with _replay_threads(thread_count):
                 start = time.perf_counter()
                 sweep()
@@ -255,7 +259,7 @@ def _time_parallel_replay() -> dict:
                 recording.replay(batch).output.data.tobytes()
             ).hexdigest()
 
-    best = _best_interleaved(sweep)
+    best = _best_interleaved(sweep, rounds=9)  # cheap sweep — tighten the best-of
     serial_seconds, parallel_seconds = best[1], best[4]
     serial_digest, parallel_digest = digest_at(1), digest_at(4)
     assert parallel_digest == serial_digest, "parallel replay diverged from serial"
