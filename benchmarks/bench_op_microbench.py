@@ -17,8 +17,13 @@ engine on the elementwise-chain workload that dominates attack inner loops
 and serving forwards.  A conv-tower leg additionally times gradient replays
 of a stacked conv/pool network serially vs with batch-axis sharding at four
 threads (sha256-asserted bit-identical) — the heavyweight-kernel path the
-cost model fans out per sample.  All numbers land as JSON under
-``results/runs`` for EXPERIMENTS.md.
+cost model fans out per sample.  Two further legs cover the sharding axes
+batch banding cannot: a backward-bound tower whose cross-batch
+``grad_weight`` partials combine through the fixed tree-reduce, and a
+batch-1 inference tower whose convs band over output rows (spatial H×W
+banding) — both sha256-gated bit-identical between serial and threaded
+replays.  All numbers land as JSON under ``results/runs`` for
+EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -362,12 +367,173 @@ def _time_conv_tower_replay() -> dict:
     }
 
 
+#: Backward-bound tower: batch and channel widths sized so the second conv's
+#: cross-batch ``grad_weight`` passes the band floor and tree-reduces.
+_REDUCE_BATCH_SHAPE = (32, 3, 32, 32)
+_REDUCE_REPEATS = 6
+
+#: Batch-1 spatial workload: one wide-channel sample large enough that the
+#: conv forwards band over output rows under the default FLOP floor.
+_SPATIAL_SHAPE = (1, 16, 96, 96)
+_SPATIAL_REPEATS = 8
+
+
+def _reduce_tower_trace():
+    """conv -> relu -> max_pool -> conv -> relu -> avg_pool -> matmul head."""
+    rng = np.random.default_rng(29)
+
+    def parameter(shape, scale):
+        return Tensor(
+            rng.normal(size=shape) * scale, requires_grad=True, is_parameter=True
+        )
+
+    w1 = parameter((16, 3, 3, 3), 0.2)
+    b1 = parameter((16,), 0.1)
+    w2 = parameter((32, 16, 3, 3), 0.2)
+    head = parameter((32 * 8 * 8, 10), 0.05)
+
+    def trace(array: np.ndarray) -> TraceHandles:
+        x = Tensor(array, requires_grad=True, is_input=True)
+        h = conv2d(x, w1, b1, stride=1, padding=1)
+        h = F.relu(h)
+        h = max_pool2d(h, 2)
+        h = conv2d(h, w2, stride=1, padding=1)
+        h = F.relu(h)
+        h = avg_pool2d(h, 2)
+        logits = h.reshape(h.shape[0], -1) @ head
+        return TraceHandles(objective=(logits * logits).sum(), input=x)
+
+    return trace
+
+
+def _time_tree_reduce_backward() -> dict:
+    """Backward-bound tower replays: serial vs tree-reduced grads (4 threads).
+
+    The second conv's cross-batch ``grad_weight`` computes per-band partials
+    that combine through the fixed binary tree in
+    :func:`repro.autodiff.sharding.tree_reduce`; under 4 replay threads the
+    leaf partials fan out across workers while the combine order stays a pure
+    function of the band count.  A sha256 over the objective and input
+    gradient asserts the tree-reduced replay is bit-identical to the serial
+    one — the whole point of the fixed tree.
+    """
+    from repro.autodiff import profile_ops
+
+    rng = np.random.default_rng(31)
+    batch = rng.normal(size=_REDUCE_BATCH_SHAPE)
+    trace = _reduce_tower_trace()
+    captured = CapturedExecution()
+    captured.run(trace, batch, key="reduce-tower")
+    captured.run(trace, batch, key="reduce-tower")  # records
+    with _replay_threads(4):
+        with profile_ops() as profiler:
+            captured.run(trace, batch, key="reduce-tower")
+    rows = profiler.as_dict()
+    assert "conv2d_treereduce" in rows, "backward did not take the tree-reduce path"
+
+    def sweep():
+        for _ in range(_REDUCE_REPEATS):
+            captured.run(trace, batch, key="reduce-tower")
+
+    def digest_at(threads: int) -> str:
+        with _replay_threads(threads):
+            handles = captured.run(trace, batch, key="reduce-tower")
+            digest = hashlib.sha256(handles.objective.data.tobytes())
+            digest.update(np.array(handles.input.grad).tobytes())
+            return digest.hexdigest()
+
+    best = _best_interleaved(sweep)
+    serial_seconds, reduced_seconds = best[1], best[4]
+    serial_digest, reduced_digest = digest_at(1), digest_at(4)
+    assert reduced_digest == serial_digest, "tree-reduced replay diverged from serial"
+    return {
+        "batch_shape": list(_REDUCE_BATCH_SHAPE),
+        "steps_per_sweep": _REDUCE_REPEATS,
+        "treereduce_partial_bytes": int(rows["conv2d_treereduce"]["meta"]["partial_bytes"]),
+        "serial_seconds": serial_seconds,
+        "treereduce4_seconds": reduced_seconds,
+        "parallel_speedup": serial_seconds / max(reduced_seconds, 1e-9),
+        "grad_sha256": serial_digest,
+    }
+
+
+def _spatial_tower_trace():
+    """Batch-1 inference tower: two wide convs -> max_pool -> matmul head."""
+    rng = np.random.default_rng(37)
+    w1 = Tensor(rng.normal(size=(32, 16, 3, 3)) * 0.2)
+    b1 = Tensor(rng.normal(size=(32,)) * 0.1)
+    w2 = Tensor(rng.normal(size=(32, 32, 3, 3)) * 0.2)
+    head = Tensor(rng.normal(size=(32 * 48 * 48, 10)) * 0.02)
+
+    def trace(array: np.ndarray) -> InferenceHandles:
+        with no_grad():
+            x = Tensor(array, is_input=True)
+            h = conv2d(x, w1, b1, stride=1, padding=1)
+            h = F.relu(h)
+            h = conv2d(h, w2, stride=1, padding=1)
+            h = max_pool2d(h, 2)
+            logits = h.reshape(h.shape[0], -1) @ head
+        return InferenceHandles(input=x, output=logits)
+
+    return trace
+
+
+def _time_batch1_spatial_replay() -> dict:
+    """Batch-1 forward replays: serial vs spatial (H×W) banding at 4 threads.
+
+    With one sample there is no batch axis to shard, so the recorded convs
+    and pool plan over output-row bands instead (halo-aware im2col windows).
+    A sha256 over the logits asserts the banded schedule reproduces the
+    serial replay byte for byte — im2col is pure copies and the per-band
+    GEMMs are the recording's own banding, never a function of threads.
+    """
+    from repro.autodiff.capture import _ShardedNode
+
+    rng = np.random.default_rng(41)
+    batch = rng.normal(size=_SPATIAL_SHAPE)
+    recording = InferenceRecording(_spatial_tower_trace()(batch))
+    spatial_steps = sorted(
+        {
+            step.profile_name
+            for step in recording._plan.steps
+            if isinstance(step, _ShardedNode)
+        }
+    )
+    assert "conv2d_spatial" in spatial_steps, "batch-1 convs did not plan spatial bands"
+
+    def sweep():
+        for _ in range(_SPATIAL_REPEATS):
+            recording.replay(batch)
+
+    def digest_at(threads: int) -> str:
+        with _replay_threads(threads):
+            return hashlib.sha256(
+                recording.replay(batch).output.data.tobytes()
+            ).hexdigest()
+
+    best = _best_interleaved(sweep)
+    serial_seconds, spatial_seconds = best[1], best[4]
+    serial_digest, spatial_digest = digest_at(1), digest_at(4)
+    assert spatial_digest == serial_digest, "spatial replay diverged from serial"
+    return {
+        "shape": list(_SPATIAL_SHAPE),
+        "steps_per_sweep": _SPATIAL_REPEATS,
+        "spatial_steps": spatial_steps,
+        "serial_seconds": serial_seconds,
+        "spatial4_seconds": spatial_seconds,
+        "parallel_speedup": serial_seconds / max(spatial_seconds, 1e-9),
+        "logits_sha256": serial_digest,
+    }
+
+
 def test_op_microbench_and_report(benchmark):
     """Kernel table + chain workload; fused+pooled must beat eager."""
     kernels = run_once(benchmark, _time_kernels)
     chain = _time_chain()
     wide = _time_parallel_replay()
     tower = _time_conv_tower_replay()
+    reduce_leg = _time_tree_reduce_backward()
+    spatial = _time_batch1_spatial_replay()
     print()
     print(f"{'kernel':<10}{'eager µs':>12}{'pooled µs':>12}")
     for name, row in kernels.items():
@@ -415,12 +581,41 @@ def test_op_microbench_and_report(benchmark):
         assert tower["parallel_speedup"] >= 1.5, (
             f"sharded conv-tower speedup {tower['parallel_speedup']:.2f}x < 1.5x"
         )
+    print(
+        f"[treereduce {reduce_leg['batch_shape']}] serial {reduce_leg['serial_seconds']:.3f}s, "
+        f"4 threads {reduce_leg['treereduce4_seconds']:.3f}s "
+        f"({reduce_leg['parallel_speedup']:.2f}x, "
+        f"{reduce_leg['treereduce_partial_bytes']} partial bytes, bit-identical grads)"
+    )
+    # Tree-reduce gate: with real cores, fanning the cross-batch grad_weight
+    # partials over workers must beat the serial backward.  The fixed combine
+    # tree keeps the gradient bytes identical either way (sha256 above), so
+    # on few-core hosts only the parity assertion applies.
+    if (os.cpu_count() or 1) >= 4:
+        assert reduce_leg["parallel_speedup"] >= 1.5, (
+            f"tree-reduce backward speedup {reduce_leg['parallel_speedup']:.2f}x < 1.5x"
+        )
+    print(
+        f"[batch-1 spatial {spatial['shape']}] serial {spatial['serial_seconds']:.3f}s, "
+        f"4 threads {spatial['spatial4_seconds']:.3f}s "
+        f"({spatial['parallel_speedup']:.2f}x, spatial steps: "
+        f"{', '.join(spatial['spatial_steps'])}, bit-identical logits)"
+    )
+    # Spatial-banding gate: with real cores, output-row bands must beat the
+    # serial batch-1 replay; single-sample serving forwards are exactly the
+    # workload batch-axis sharding cannot touch.
+    if (os.cpu_count() or 1) >= 4:
+        assert spatial["parallel_speedup"] >= 1.3, (
+            f"batch-1 spatial speedup {spatial['parallel_speedup']:.2f}x < 1.3x"
+        )
     payload = {
         "scenario": "bench_op_microbench",
         "kernels": kernels,
         "elementwise_chain": chain,
         "parallel_replay": wide,
         "conv_tower_replay": tower,
+        "tree_reduce_backward": reduce_leg,
+        "batch1_spatial_replay": spatial,
         "parity": "fused replay gradients bit-identical to eager",
     }
     write_bench_trajectory(
@@ -438,6 +633,12 @@ def test_op_microbench_and_report(benchmark):
             "conv_tower_replay_serial_seconds": tower["serial_seconds"],
             "conv_tower_replay_sharded4_seconds": tower["sharded4_seconds"],
             "conv_tower_replay_parallel_speedup": tower["parallel_speedup"],
+            "conv_tower_treereduce_serial_seconds": reduce_leg["serial_seconds"],
+            "conv_tower_treereduce4_seconds": reduce_leg["treereduce4_seconds"],
+            "conv_tower_treereduce_speedup": reduce_leg["parallel_speedup"],
+            "batch1_spatial_serial_seconds": spatial["serial_seconds"],
+            "batch1_spatial4_seconds": spatial["spatial4_seconds"],
+            "batch1_spatial_speedup": spatial["parallel_speedup"],
         },
     )
     runs_dir = RESULTS_DIR / "runs"

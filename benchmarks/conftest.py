@@ -26,6 +26,7 @@ from pathlib import Path
 import pytest
 
 from repro.autodiff import get_default_dtype, replay_thread_count
+from repro.autodiff.sharding import MIN_SHARD_SECONDS, force_parallel, min_band_flops
 from repro.eval.engine import ExperimentEngine, scaled_experiment_config
 from repro.eval.harness import ExperimentConfig
 from repro.utils.rng import set_global_seed
@@ -86,6 +87,14 @@ def write_bench_trajectory(area: str, metrics: dict) -> Path:
         "replay_threads": replay_thread_count(),
         "cpu_count": os.cpu_count() or 1,
         "dtype": str(get_default_dtype()),
+        # The active sharding configuration: speedups measured under one
+        # FLOP floor / forced fan-out are not comparable to another's, so
+        # compare_bench.py skips gating when two revisions disagree here.
+        "shard_config": {
+            "min_band_flops": min_band_flops(),
+            "min_shard_seconds": MIN_SHARD_SECONDS,
+            "force_parallel": bool(force_parallel()),
+        },
         "metrics": {key: float(value) for key, value in sorted(merged.items())},
     }
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")

@@ -19,7 +19,9 @@ else — throughputs, speedups, widths — is higher-is-better.  Metrics present
 never gate (a new benchmark must not fail the first revision that adds it).
 When both files record a ``cpu_count`` and they disagree, the runs came
 from different hosts — parallel-replay speedups are not comparable, so the
-diff is printed for the record but nothing gates.
+diff is printed for the record but nothing gates.  The same skip applies
+when both files record a ``shard_config`` and they disagree: numbers taken
+under different FLOP floors or forced fan-out are not the same benchmark.
 """
 
 from __future__ import annotations
@@ -86,6 +88,14 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"cpu_count changed ({cpu_then} -> {cpu_now}): different hosts, "
             "reporting only — no metric gates this comparison"
+        )
+    shard_now = current.get("shard_config")
+    shard_then = previous.get("shard_config")
+    if shard_now is not None and shard_then is not None and shard_now != shard_then:
+        gated = False
+        print(
+            f"shard_config changed ({shard_then} -> {shard_now}): different "
+            "sharding regimes, reporting only — no metric gates this comparison"
         )
 
     failures = []

@@ -36,7 +36,13 @@ bit-identical to serial ones.  Large saved-free elementwise chains shard
 along the batch axis as a second parallelism axis behind the same knob, and
 heavyweight kernels (conv2d, matmul, pooling) that compute in canonical
 batch bands (:mod:`repro.autodiff.sharding`) split into contiguous band
-spans, so even a single-chain conv tower fills the pool.  Fan-out and shard
+spans, so even a single-chain conv tower fills the pool.  Batch-1 4-D steps
+— the serving gateway's single-request path — band over *output rows*
+instead (spatial banding with halo-aware input windows), reported under
+``<op>_spatial`` profiler rows.  Backward sweeps tree-reduce the
+cross-batch gradients (conv2d ``grad_weight``/``grad_bias``, matmul
+``grad_b``) through per-band partial slabs whose pooled-buffer traffic is
+priced into the modeled seconds the shard decision sees.  Fan-out and shard
 counts come from a FLOP/byte cost model rather than raw element counts;
 waves whose modeled win does not cover the executor overhead run inline on
 the caller thread — the exact serial code path.
@@ -96,6 +102,25 @@ def replay_thread_count() -> int:
 
 _EXECUTOR_LOCK = threading.Lock()
 _EXECUTORS: dict[int, ThreadPoolExecutor] = {}
+
+
+def kernel_runner_scope():
+    """A :class:`~repro.autodiff.sharding.runner_scope` for *eager* hot loops.
+
+    Replays activate their own shard runner around the recorded sweeps; this
+    helper gives eager code paths with banded kernels (the serving gateway's
+    row-wise stage loop) the same fan-out over the shared replay executor.
+    Resolves to a no-op context when only one worker is worth using, so
+    callers can wrap unconditionally.  Executor worker threads never see the
+    activation (it is thread-local), so banded kernels running *on* the pool
+    cannot submit nested work — the pool cannot deadlock on itself.
+    """
+    workers = _sharding.effective_workers(replay_thread_count())
+    if workers <= 1:
+        return contextlib.nullcontext()
+    return _sharding.runner_scope(
+        _sharding.ShardRunner(_shared_executor(workers), workers)
+    )
 
 
 def _shared_executor(workers: int) -> ThreadPoolExecutor:
@@ -188,7 +213,7 @@ class _ShardedNode(_ReplayNode):
     the unsharded ``run``, is byte-identical to the recording.
     """
 
-    __slots__ = ("call", "band_units", "flops", "moved")
+    __slots__ = ("call", "band_units", "flops", "moved", "profile_name")
 
     def __init__(self, node: Tensor, call, band_units: int, flops: int, moved: int):
         super().__init__(node)
@@ -196,6 +221,12 @@ class _ShardedNode(_ReplayNode):
         self.band_units = band_units
         self.flops = flops
         self.moved = moved
+        # Batch-1 4-D steps band over output rows (spatial banding); report
+        # them under their own profiler row so --profile tables distinguish
+        # the two axes.
+        first = call.tensors[0].data
+        axis = "spatial" if first.ndim == 4 and first.shape[0] == 1 else "sharded"
+        self.profile_name = f"{call.op.name}_{axis}"
 
     @property
     def shardable(self) -> bool:
@@ -219,7 +250,7 @@ class _ShardedNode(_ReplayNode):
         call.op.forward_shard(inputs, call.params, call.saved, self.node.data, start, stop)
         share = (stop - start) / self.band_units
         profiler.record(
-            f"{call.op.name}_sharded",
+            self.profile_name,
             time.perf_counter() - began,
             int(self.flops * share),
             int(self.moved * share),

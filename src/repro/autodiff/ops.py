@@ -534,6 +534,51 @@ def _banded_matmul(a, b, runner=None):
     return result
 
 
+def _matmul_grad_b(a, grad, b, runner=None):
+    """Gradient w.r.t. the rhs: ``aᵀ @ grad`` reduced across the band axis.
+
+    Unlike ``grad_a`` (whose output rows are the band axis), every band of
+    ``a``/``grad`` contributes to *every* element of ``grad_b`` — so banding
+    it means per-band partial GEMMs combined through the fixed binary tree
+    (:func:`repro.autodiff.sharding.reduce_bands`).  The gate is the same
+    canonical banding rule as the forward, applied in eager and replayed
+    sweeps alike, so gradients agree byte for byte at any shard/thread
+    count.  Stacked rhs operands (``b.ndim >= 3``) have no cross-batch
+    reduction, and deeply stacked lhs operands would need a second nested
+    reduction — both keep the classic whole kernel.
+    """
+    units = _matmul_band_count(a.shape, b.shape)
+    if units == 0 or b.ndim != 2 or a.ndim > 3 or a.dtype != grad.dtype:
+        return unbroadcast(np.matmul(np.swapaxes(a, -1, -2), grad), b.shape)
+    out = np.empty(b.shape, dtype=np.result_type(a, grad))
+    if a.ndim == 2:
+        rows = a.shape[0]
+
+        def partial(band: int, slab: np.ndarray) -> None:
+            r0 = band * _sharding.MATMUL_BAND_ROWS
+            r1 = min(r0 + _sharding.MATMUL_BAND_ROWS, rows)
+            np.matmul(a[r0:r1].T, grad[r0:r1], out=slab)
+
+    else:
+
+        def partial(band: int, slab: np.ndarray) -> None:
+            np.matmul(a[band].T, grad[band], out=slab)
+
+    flops = 2 * _prod(a.shape) * int(b.shape[-1])
+    # Price the partial-slab traffic (units written, then re-read by the
+    # tree combine) so the shard decision sees the reduction's true cost.
+    moved = a.nbytes + grad.nbytes + (2 * units + 1) * out.nbytes
+    _sharding.reduce_bands(
+        units,
+        _sharding.modeled_seconds(flops, moved),
+        partial,
+        out,
+        runner=runner,
+        name="matmul",
+    )
+    return out
+
+
 def _matmul_shard_units(in_shapes, out_shape, params, itemsize):
     return _matmul_band_count(in_shapes[0], in_shapes[1])
 
@@ -562,12 +607,13 @@ def _matmul_backward(ctx, grad, runner=None):
     # Each operand's gradient is a full matmul; skip the ones nobody will
     # read (e.g. frozen parameters during attack queries).  grad_a routes
     # through the canonical banding rule (its lhs rows are the batch axis);
-    # grad_b reduces *across* the batch, so it always stays whole.
+    # grad_b reduces *across* the batch — banded calls compute per-band
+    # partials combined through the fixed tree reduce.
     grad_a = grad_b = None
     if needs[0]:
         grad_a = unbroadcast(_banded_matmul(grad, np.swapaxes(b, -1, -2), runner), a.shape)
     if needs[1]:
-        grad_b = unbroadcast(np.matmul(np.swapaxes(a, -1, -2), grad), b.shape)
+        grad_b = _matmul_grad_b(a, grad, b, runner)
     return (grad_a, grad_b)
 
 
@@ -960,37 +1006,57 @@ def _conv2d_flops(x_shape, w_shape, stride: int, padding: int) -> int:
     return 2 * int(n) * int(c_out) * out_h * out_w * int(c_in) * int(kh) * int(kw)
 
 
-def _conv2d_band_count(inputs, params) -> int:
-    """Canonical per-sample band units for a conv2d call (0 = stay whole).
+def _conv2d_spatial_units(x_shape, w_shape, params) -> int:
+    """Output-row band units for a batch-1 conv2d (0 = stay whole).
 
-    Like matmul banding, the decision is shapes/FLOPs only — plus a dtype
-    equality gate, because the banded kernel computes every band in the
-    common dtype via preallocated buffers.  Mixed-dtype calls keep the
-    classic whole-batch path (in eager mode *and* in replays, so recorded
-    values always match).
+    When the batch axis is a single sample there is nothing to band over, so
+    the fallback axis is H: groups of :data:`~repro.autodiff.sharding.
+    SPATIAL_BAND_ROWS` output rows, each unfolded with its own halo-carrying
+    input window.  Same shapes/FLOPs gate as sample banding.
+    """
+    from repro.autodiff.conv import _output_size
+
+    out_h = _output_size(int(x_shape[2]), int(w_shape[2]), params["stride"], params["padding"])
+    units = -(-out_h // _sharding.SPATIAL_BAND_ROWS)
+    flops = _conv2d_flops(x_shape, w_shape, params["stride"], params["padding"])
+    return units if _sharding.banded(units, flops) else 0
+
+
+def _conv2d_band_count(inputs, params) -> int:
+    """Canonical band units for a conv2d call (0 = stay whole).
+
+    Batches of two or more band per *sample*; a single-sample batch falls
+    back to *spatial* (output-row) bands.  Like matmul banding, the decision
+    is shapes/FLOPs only — plus a dtype equality gate, because the banded
+    kernel computes every band in the common dtype via preallocated buffers.
+    Mixed-dtype calls keep the classic whole-batch path (in eager mode *and*
+    in replays, so recorded values always match).
     """
     x, weight = inputs[0], inputs[1]
-    n = int(x.shape[0])
-    if not _sharding.banded(
-        n, _conv2d_flops(x.shape, weight.shape, params["stride"], params["padding"])
-    ):
-        return 0
     if any(operand.dtype != x.dtype for operand in inputs[1:]):
         return 0
-    return n
+    n = int(x.shape[0])
+    if n < 2:
+        return _conv2d_spatial_units(x.shape, weight.shape, params)
+    flops = _conv2d_flops(x.shape, weight.shape, params["stride"], params["padding"])
+    return n if _sharding.banded(n, flops) else 0
 
 
 def _conv2d_run_bands(inputs, params, col, out, start, stop) -> None:
-    """Compute samples ``[start, stop)`` of a banded conv2d into ``out``.
+    """Compute band units ``[start, stop)`` of a banded conv2d into ``out``.
 
-    Each sample is one canonical band: its im2col rows land in the shared
-    ``col`` matrix (disjoint slices, race-free) and its output channels are
-    one im2col-GEMM of its own, so any contiguous grouping of samples is
-    byte-identical to any other.
+    For batches of two or more, each sample is one canonical band: its
+    im2col rows land in the shared ``col`` matrix (disjoint slices,
+    race-free) and its output channels are one im2col-GEMM of its own, so
+    any contiguous grouping of samples is byte-identical to any other.
+    Batch-1 calls dispatch to the spatial (output-row) band kernel instead.
     """
     from repro.autodiff.conv import im2col_into
 
     x, weight = inputs[0], inputs[1]
+    if x.shape[0] == 1:
+        _conv2d_run_spatial_bands(inputs, params, col, out, start, stop)
+        return
     bias = inputs[2] if len(inputs) > 2 else None
     stride, padding = params["stride"], params["padding"]
     c_out, _, kh, kw = weight.shape
@@ -1009,8 +1075,41 @@ def _conv2d_run_bands(inputs, params, col, out, start, stop) -> None:
     pool.release(band)
 
 
+def _conv2d_run_spatial_bands(inputs, params, col, out, start, stop) -> None:
+    """Compute output-row bands ``[start, stop)`` of a batch-1 banded conv2d.
+
+    Each band unfolds its halo-carrying input window into its own rows of
+    the shared ``col`` matrix (im2col is pure copies, so the assembled
+    matrix is byte-identical to the whole unfold) and runs one GEMM of its
+    own — the per-band GEMM is what makes batch-1 values canonical, exactly
+    as per-sample GEMMs do for real batches.
+    """
+    from repro.autodiff.conv import im2col_into
+
+    x, weight = inputs[0], inputs[1]
+    bias = inputs[2] if len(inputs) > 2 else None
+    stride, padding = params["stride"], params["padding"]
+    c_out, _, kh, kw = weight.shape
+    _, _, out_h, out_w = out.shape
+    weight_t = weight.reshape(c_out, -1).T
+    pool = _sharding.scratch_pool()
+    for band in range(start, stop):
+        r0 = band * _sharding.SPATIAL_BAND_ROWS
+        r1 = min(r0 + _sharding.SPATIAL_BAND_ROWS, out_h)
+        col_rows = col[r0 * out_w : r1 * out_w]
+        im2col_into(x, kh, kw, stride, padding, col_rows, row_start=r0, row_stop=r1)
+        band_out = pool.take((col_rows.shape[0], c_out), out.dtype)
+        np.matmul(col_rows, weight_t, out=band_out)
+        if bias is not None:
+            band_out += bias.reshape(1, c_out)
+        out[0, :, r0:r1, :] = band_out.reshape(r1 - r0, out_w, c_out).transpose(2, 0, 1)
+        pool.release(band_out)
+
+
 def _conv2d_shard_units(in_shapes, out_shape, params, itemsize):
     n = int(in_shapes[0][0])
+    if n < 2:
+        return _conv2d_spatial_units(in_shapes[0], in_shapes[1], params)
     flops = _conv2d_flops(in_shapes[0], in_shapes[1], params["stride"], params["padding"])
     return n if _sharding.banded(n, flops) else 0
 
@@ -1040,7 +1139,21 @@ def _conv2d_forward(inputs, params, saved, out):
         if col is None or col.shape != col_shape or col.dtype != x.dtype:
             col = np.empty(col_shape, dtype=x.dtype)
             saved["col"] = col
-        _conv2d_run_bands(inputs, params, col, out, 0, units)
+        # Eager calls inside an active runner scope (the serving gateway's
+        # stage loop) fan the band loop out; values are fixed by the
+        # canonical banding either way.
+        runner = _sharding.active_runner()
+        if runner is None:
+            _conv2d_run_bands(inputs, params, col, out, 0, units)
+        else:
+            flops = _conv2d_flops(x.shape, weight.shape, stride, padding)
+            moved = (x.size + weight.size + out.size) * out.itemsize
+            runner.map_bands(
+                units,
+                _sharding.modeled_seconds(flops, moved),
+                functools.partial(_conv2d_run_bands, inputs, params, col, out),
+                name="conv2d_spatial" if n == 1 else "conv2d_sharded",
+            )
         return out
     new_col, out_h, out_w = im2col(x, kh, kw, stride, padding)
     col = _refresh(saved, "col", new_col)
@@ -1055,6 +1168,20 @@ def _conv2d_forward_shard(inputs, params, saved, out, start, stop):
     _conv2d_run_bands(inputs, params, saved["col"], out, start, stop)
 
 
+def _conv2d_col_span(band: int, n: int, out_h: int, out_w: int) -> tuple[int, int]:
+    """The ``col``/``grad_matrix`` row span one canonical band covers.
+
+    Samples are the band axis for real batches; batch-1 calls band over
+    output-row groups, matching the forward's spatial banding exactly.
+    """
+    if n == 1:
+        r0 = band * _sharding.SPATIAL_BAND_ROWS
+        r1 = min(r0 + _sharding.SPATIAL_BAND_ROWS, out_h)
+        return r0 * out_w, r1 * out_w
+    rows = out_h * out_w
+    return band * rows, (band + 1) * rows
+
+
 def _conv2d_backward(ctx, grad, runner=None):
     from repro.autodiff.conv import col2im
 
@@ -1064,26 +1191,74 @@ def _conv2d_backward(ctx, grad, runner=None):
     c_out, _, kh, kw = weight.shape
     col = ctx.saved["col"]
     grad_matrix = grad.transpose(0, 2, 3, 1).reshape(-1, c_out)
-    # The weight gradient is a full (C_out, C·kh·kw) matmul; skip it (and the
-    # bias reduction) when the parameters are frozen, as during attack-side
-    # input-gradient queries.  Both reduce *across* the batch, so they always
-    # stay whole; only grad_x routes through canonical sample bands.
+    n = x.shape[0]
+    out_h, out_w = grad.shape[2], grad.shape[3]
+    units = _conv2d_band_count(ctx.inputs, ctx.params)
+    # grad_weight and grad_bias reduce *across* the band axis: every band
+    # contributes to every output element, so banded calls compute per-band
+    # partials into pooled slabs and combine them through the fixed binary
+    # tree (reduce_bands).  The gate is the same canonical banding rule as
+    # the forward, applied in eager and replayed sweeps alike.  Skip both
+    # when the parameters are frozen, as during attack-side input-gradient
+    # queries.
+    reduce_units = 0 if grad.dtype != weight.dtype else units
     grad_bias = None
     if bias_needs:
         bias = ctx.inputs[2]
-        grad_bias = grad_matrix.sum(axis=0).reshape(bias.shape)
+        if reduce_units:
+            flat_bias = np.empty((c_out,), dtype=grad.dtype)
+
+            def bias_partial(band: int, slab: np.ndarray) -> None:
+                s0, s1 = _conv2d_col_span(band, n, out_h, out_w)
+                np.sum(grad_matrix[s0:s1], axis=0, out=slab)
+
+            _sharding.reduce_bands(
+                reduce_units,
+                _sharding.modeled_seconds(grad_matrix.size, 2 * grad_matrix.nbytes),
+                bias_partial,
+                flat_bias,
+                runner=runner,
+            )
+            grad_bias = flat_bias.reshape(bias.shape)
+        else:
+            grad_bias = grad_matrix.sum(axis=0).reshape(bias.shape)
     grad_weight = None
     if ctx.needs[1]:
-        grad_weight = (grad_matrix.T @ col).reshape(weight.shape)
+        if reduce_units:
+            flat_weight = np.empty((c_out, col.shape[1]), dtype=grad.dtype)
+
+            def weight_partial(band: int, slab: np.ndarray) -> None:
+                s0, s1 = _conv2d_col_span(band, n, out_h, out_w)
+                np.matmul(grad_matrix[s0:s1].T, col[s0:s1], out=slab)
+
+            flops = 2 * grad_matrix.shape[0] * c_out * col.shape[1]
+            moved = (
+                grad_matrix.nbytes
+                + col.nbytes
+                + (2 * reduce_units + 1) * flat_weight.nbytes
+            )
+            _sharding.reduce_bands(
+                reduce_units,
+                _sharding.modeled_seconds(flops, moved),
+                weight_partial,
+                flat_weight,
+                runner=runner,
+                name="conv2d",
+            )
+            grad_weight = flat_weight.reshape(weight.shape)
+        else:
+            grad_weight = (grad_matrix.T @ col).reshape(weight.shape)
     grad_x = None
     if ctx.needs[0]:
         weight_matrix = weight.reshape(c_out, -1)
-        units = _conv2d_band_count(ctx.inputs, ctx.params)
-        if units == 0 or grad.dtype != weight.dtype:
+        # Spatial (batch-1) bands overlap through their halos under col2im's
+        # accumulation, so batch-1 grad_x stays whole: spatial banding is a
+        # forward/reduction axis only.
+        if units == 0 or grad.dtype != weight.dtype or n < 2:
             grad_col = grad_matrix @ weight_matrix
             grad_x = col2im(grad_col, x.shape, kh, kw, stride, padding)
         else:
-            rows = grad.shape[2] * grad.shape[3]
+            rows = out_h * out_w
             grad_x = np.empty(x.shape, dtype=grad.dtype)
             sample_shape = (1,) + x.shape[1:]
 
@@ -1125,12 +1300,20 @@ def _max_pool2d_forward(inputs, params, saved, out):
     return _store(new_col.max(axis=2).reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2), out)
 
 
+def _pool_spatial_window(out_h: int, start: int, stop: int) -> tuple[int, int]:
+    """Output rows covered by spatial band units ``[start, stop)``."""
+    r0 = start * _sharding.SPATIAL_BAND_ROWS
+    r1 = min(stop * _sharding.SPATIAL_BAND_ROWS, out_h)
+    return r0, r1
+
+
 def _max_pool2d_forward_shard(inputs, params, saved, out, start, stop):
-    """Samples ``[start, stop)`` of a max pool, writing the recorded slices.
+    """Band units ``[start, stop)`` of a max pool, writing the recorded slices.
 
     Pooling is row-independent — im2col rows are pure copies and argmax/max
-    reduce within a row — so any sample grouping is byte-identical to the
-    whole-batch kernel; no eager canonicalization is needed.
+    reduce within a row — so any band grouping (samples for real batches,
+    output-row windows for batch 1) is byte-identical to the whole-batch
+    kernel; no eager canonicalization is needed.
     """
     from repro.autodiff.conv import im2col_into
 
@@ -1138,8 +1321,17 @@ def _max_pool2d_forward_shard(inputs, params, saved, out, start, stop):
     kernel, stride = params["kernel"], params["stride"]
     c = x.shape[1]
     _, _, out_h, out_w = out.shape
-    rows = out_h * out_w
     pool = _sharding.scratch_pool()
+    if x.shape[0] == 1:
+        r0, r1 = _pool_spatial_window(out_h, start, stop)
+        col = pool.take(((r1 - r0) * out_w, c * kernel * kernel), x.dtype)
+        im2col_into(x, kernel, kernel, stride, 0, col, row_start=r0, row_stop=r1)
+        col3 = col.reshape(-1, c, kernel * kernel)
+        saved["argmax"][r0 * out_w : r1 * out_w] = col3.argmax(axis=2)
+        out[0, :, r0:r1, :] = col3.max(axis=2).reshape(r1 - r0, out_w, c).transpose(2, 0, 1)
+        pool.release(col)
+        return
+    rows = out_h * out_w
     col = pool.take(((stop - start) * rows, c * kernel * kernel), x.dtype)
     im2col_into(x[start:stop], kernel, kernel, stride, 0, col)
     col3 = col.reshape(-1, c, kernel * kernel)
@@ -1195,8 +1387,16 @@ def _avg_pool2d_forward_shard(inputs, params, saved, out, start, stop):
     kernel, stride = params["kernel"], params["stride"]
     c = x.shape[1]
     _, _, out_h, out_w = out.shape
-    rows = out_h * out_w
     pool = _sharding.scratch_pool()
+    if x.shape[0] == 1:
+        r0, r1 = _pool_spatial_window(out_h, start, stop)
+        col = pool.take(((r1 - r0) * out_w, c * kernel * kernel), x.dtype)
+        im2col_into(x, kernel, kernel, stride, 0, col, row_start=r0, row_stop=r1)
+        col3 = col.reshape(-1, c, kernel * kernel)
+        out[0, :, r0:r1, :] = col3.mean(axis=2).reshape(r1 - r0, out_w, c).transpose(2, 0, 1)
+        pool.release(col)
+        return
+    rows = out_h * out_w
     col = pool.take(((stop - start) * rows, c * kernel * kernel), x.dtype)
     im2col_into(x[start:stop], kernel, kernel, stride, 0, col)
     col3 = col.reshape(-1, c, kernel * kernel)
@@ -1256,17 +1456,22 @@ def _pool_shard_units(in_shapes, out_shape, params, itemsize):
 
     Unlike conv/matmul there is no eager canonicalization to stay consistent
     with — pooling is bitwise stable under any grouping — so the gate is
-    purely a cost threshold.
+    purely a cost threshold.  Single-sample batches fall back to spatial
+    (output-row) band units, like conv2d.
     """
     n = int(in_shapes[0][0])
-    if n < 2:
-        return 0
+    if n >= 2:
+        units = n
+    else:
+        units = -(-int(out_shape[2]) // _sharding.SPATIAL_BAND_ROWS)
+        if units < 2:
+            return 0
     flops, moved = _pool_cost(in_shapes, out_shape, params, itemsize)
-    if _sharding.banded(n, flops):
-        return n
+    if _sharding.banded(units, flops):
+        return units
     if _sharding.modeled_seconds(flops, moved) < 2 * _sharding.MIN_SHARD_SECONDS:
         return 0
-    return n
+    return units
 
 
 # --------------------------------------------------------------------------- #
@@ -1569,6 +1774,11 @@ register(
             GradSample(shapes=((2, 3, 5, 5), (4, 3, 3, 3)), params={"stride": 1, "padding": 0}),
             GradSample(
                 shapes=((1, 2, 6, 6), (3, 2, 3, 3), (3,)), params={"stride": 2, "padding": 1}
+            ),
+            # Batch-1 with out_h > SPATIAL_BAND_ROWS: exercises spatial
+            # banding (ragged final band) under a forced low FLOP floor.
+            GradSample(
+                shapes=((1, 2, 11, 11), (3, 2, 3, 3), (3,)), params={"stride": 1, "padding": 1}
             ),
         ),
     )

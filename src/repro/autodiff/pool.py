@@ -102,6 +102,22 @@ class BufferPool:
         with self._lock:
             self._free.setdefault(key, []).append(buffer)
 
+    def clear(self) -> int:
+        """Drop every pooled buffer (free lists *and* outstanding ledger).
+
+        Unlike :meth:`recycle` nothing is retained for reuse: the arrays are
+        released to the garbage collector.  Tests use this to start from a
+        cold pool before asserting warm-replay allocation behaviour; long
+        processes can call it to shed a workload's worth of scratch slabs
+        after shapes change.  Returns how many buffers were dropped.  The
+        counters in :attr:`stats` are left untouched (they are cumulative).
+        """
+        with self._lock:
+            count = sum(len(free) for free in self._free.values()) + len(self._outstanding)
+            self._free.clear()
+            self._outstanding.clear()
+        return count
+
     def recycle(self) -> int:
         """Return every outstanding buffer to the free lists; ends a step.
 

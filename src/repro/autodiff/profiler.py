@@ -8,7 +8,12 @@ dispatcher (that is the point of capturing), so
 the pseudo-ops ``captured_replay`` / ``captured_inference_replay`` — or,
 when the wave scheduler ran them multi-threaded, under the ``*_parallel``
 variants whose ``meta`` column carries wave count, max wave width, thread
-count and worker utilization.
+count and worker utilization.  Sharded kernels add their own rows:
+``<op>_sharded`` per forward span (``<op>_spatial`` when a batch-1 step
+bands over output rows instead of samples), ``<op>_grad_sharded`` for
+banded backward loops, and ``<op>_treereduce`` for cross-batch gradients
+combined through the fixed binary tree (meta carries the shard count and
+pooled partial bytes).
 
 Activation is *process-wide* (guarded by a lock), not thread-local: the
 experiment engine fans cells out over worker threads and ``repro.run

@@ -34,6 +34,23 @@ across the replay thread pool:
   local) around the recorded backward sweep; ops that declare a
   ``backward_shard`` kernel pick it up via :func:`active_runner` and fan
   their band loops out over the same executor the forward waves used.
+
+* **Tree-reduced cross-batch gradients.**  Reductions *across* the batch
+  (conv2d ``grad_weight``/``grad_bias``, matmul ``grad_b``) cannot write
+  disjoint output slices per band — every band contributes to every output
+  element.  :func:`reduce_bands` computes one partial per canonical band
+  into pooled scratch slabs and combines them with :func:`tree_reduce`, a
+  fixed-shape binary tree whose combine order is a pure function of the
+  band count alone — never of shard count or thread arrival — so the
+  result is byte-identical at any shard/thread count.  Shards only decide
+  *which worker computes which leaf partials*.
+
+* **Spatial banding for batch 1.**  When the batch axis is a single sample
+  (the serving gateway's single-request path) the heavy 4-D kernels band
+  over groups of :data:`SPATIAL_BAND_ROWS` *output rows* instead, with
+  halo-aware input slicing (``im2col_into``'s row window).  The gate is the
+  same shapes/FLOPs rule as batch banding, so eager and replayed values
+  stay equal.
 """
 
 from __future__ import annotations
@@ -42,11 +59,14 @@ import os
 import threading
 from concurrent.futures import Executor
 
+import numpy as np
+
 from repro.autodiff.pool import BufferPool
 
 __all__ = [
     "MATMUL_BAND_ROWS",
     "MIN_SHARD_SECONDS",
+    "SPATIAL_BAND_ROWS",
     "ShardRunner",
     "active_runner",
     "banded",
@@ -57,8 +77,10 @@ __all__ = [
     "min_band_flops",
     "modeled_seconds",
     "partition",
+    "reduce_bands",
     "runner_scope",
     "scratch_pool",
+    "tree_reduce",
 ]
 
 #: Modeled sustained kernel rates for the cost model.  Deliberately round,
@@ -80,6 +102,12 @@ MIN_SHARD_SECONDS = 75e-6
 #: GEMM into thousands of GEMV calls; 64-row bands keep each call a real
 #: (cache-blocked) GEMM while still giving the scheduler plenty of units.
 MATMUL_BAND_ROWS = 64
+
+#: Canonical band height (in *output rows*) for spatially banded 4-D kernels
+#: when the batch axis is a single sample.  Small enough that test-sized
+#: feature maps still split into several ragged bands; a 224x224 conv output
+#: yields 56 units for the scheduler to group.
+SPATIAL_BAND_ROWS = 4
 
 #: Default FLOP floor before a heavy kernel switches to canonical banding.
 #: Tunable via REPRO_SHARD_MIN_FLOPS so tests can force banding on small
@@ -184,6 +212,32 @@ def partition(units: int, shards: int) -> list[tuple[int, int]]:
     return spans
 
 
+def tree_reduce(slabs: list, out) -> None:
+    """Sum ``slabs`` into ``out`` through a fixed-shape binary tree.
+
+    The combine order is a pure function of ``len(slabs)``: pairs merge in
+    index order, odd tails carry to the next level, and the final pair lands
+    in ``out`` — never the order workers *finished* the leaves.  Floating
+    point addition is not associative, so a fixed tree is what makes the
+    reduced gradient byte-identical at every shard and thread count (shards
+    only choose which worker computes which leaf).  Leaf slabs are consumed:
+    interior sums overwrite them in place.
+    """
+    if len(slabs) == 1:
+        np.copyto(out, slabs[0])
+        return
+    active = list(slabs)
+    while len(active) > 2:
+        merged = []
+        for index in range(0, len(active) - 1, 2):
+            np.add(active[index], active[index + 1], out=active[index])
+            merged.append(active[index])
+        if len(active) % 2:
+            merged.append(active[-1])
+        active = merged
+    np.add(active[0], active[1], out=out)
+
+
 #: Process-wide scratch pool for per-band temporaries (im2col padding, band
 #: result matrices).  Deliberately *not* the thread-local tensor pool: shard
 #: units run on executor worker threads that never see the recording thread's
@@ -195,6 +249,61 @@ _SCRATCH = BufferPool()
 def scratch_pool() -> BufferPool:
     """The process-wide scratch pool sharded kernels draw temporaries from."""
     return _SCRATCH
+
+
+def reduce_bands(
+    units: int,
+    seconds: float,
+    partial_fn,
+    out,
+    runner: "ShardRunner | None" = None,
+    name: str | None = None,
+) -> None:
+    """Tree-reduce per-band partials into ``out`` (a cross-batch gradient).
+
+    ``partial_fn(band, slab)`` computes canonical band ``band``'s partial
+    into ``slab`` (shaped/typed like ``out``, drawn from the scratch pool).
+    With a ``runner``, leaf computation fans out over the replay executor;
+    the combine itself always runs on the caller thread through
+    :func:`tree_reduce`, so the summation order — hence the bytes of the
+    result — is fixed by ``units`` alone.  ``seconds`` should price the
+    partial-slab traffic (``units * out.nbytes`` written then re-read) on
+    top of the kernel FLOPs so the shard decision sees the true cost.
+
+    With ``name`` set and a profiler active, the whole reduce lands under a
+    ``<name>_treereduce`` row whose meta records the shard count and the
+    pooled partial bytes.
+    """
+    import time
+
+    from repro.autodiff import profiler as _profiler
+
+    profiler = _profiler.active_profiler() if name is not None else None
+    began = time.perf_counter() if profiler is not None else 0.0
+    pool = scratch_pool()
+    slabs = [pool.take(out.shape, out.dtype) for _ in range(units)]
+
+    def fill(start: int, stop: int) -> None:
+        for band in range(start, stop):
+            partial_fn(band, slabs[band])
+
+    shards = 1
+    if runner is not None:
+        shards = decide_shards(seconds, units, runner.workers)
+        runner.map_bands(units, seconds, fill)
+    else:
+        fill(0, units)
+    tree_reduce(slabs, out)
+    for slab in slabs:
+        pool.release(slab)
+    if profiler is not None:
+        profiler.record(
+            f"{name}_treereduce",
+            time.perf_counter() - began,
+            0,
+            0,
+            meta={"shards": shards, "partial_bytes": units * out.nbytes},
+        )
 
 
 class ShardRunner:
@@ -232,6 +341,17 @@ class ShardRunner:
         self._run_span(fn, spans[0][0], spans[0][1], shards, name)
         for future in futures:
             future.result()
+
+    def map_reduce_bands(
+        self, units: int, seconds: float, partial_fn, out, name: str | None = None
+    ) -> None:
+        """The reduce variant of :meth:`map_bands`: see :func:`reduce_bands`.
+
+        Leaf partials fan out over the executor; the fixed-tree combine runs
+        on the calling thread, so the result is byte-identical to the
+        runner-free ``reduce_bands(..., runner=None)`` call.
+        """
+        reduce_bands(units, seconds, partial_fn, out, runner=self, name=name)
 
     @staticmethod
     def _run_span(fn, start: int, stop: int, shards: int, name: str | None) -> None:
