@@ -32,7 +32,7 @@ import sys
 from pathlib import Path
 
 #: Name suffixes marking a metric as lower-is-better.
-_LOWER_IS_BETTER_SUFFIXES = ("_seconds", "_us", "shed_rate")
+_LOWER_IS_BETTER_SUFFIXES = ("_seconds", "_us", "shed_rate", "_bytes_on_wire")
 
 
 def lower_is_better(name: str) -> bool:

@@ -108,3 +108,32 @@ class CellExecutor:
         context = multiprocessing.get_context("fork")
         with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
             return list(pool.map(fn, payloads))
+
+    def imap(self, fn: Callable[[dict], dict], payloads: Sequence[dict]):
+        """Lazily yield ``fn(payload)`` results in input order as they complete.
+
+        The streaming counterpart of :meth:`map`: on the serial backend each
+        payload is only executed when the consumer asks for its result, and
+        on the pooled backends every payload is submitted up front but
+        results are yielded head-of-line — the consumer sees them in input
+        order regardless of which worker finishes first, which is what keeps
+        order-sensitive reductions deterministic.
+        """
+        payloads = list(payloads)
+        backend, workers = self._resolved(len(payloads))
+        if backend == "serial":
+            for payload in payloads:
+                yield fn(payload)
+            return
+        _LOGGER.info("streaming %d cells over %d %s workers", len(payloads), workers, backend)
+        if backend == "thread":
+            pool = ThreadPoolExecutor(max_workers=workers)
+        else:
+            context = multiprocessing.get_context("fork")
+            pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        try:
+            futures = [pool.submit(fn, payload) for payload in payloads]
+            for future in futures:
+                yield future.result()
+        finally:
+            pool.shutdown(wait=True)

@@ -26,6 +26,7 @@ import copy
 import dataclasses
 import functools
 import hashlib
+import time
 
 import numpy as np
 
@@ -182,6 +183,7 @@ def _run_once(scenario, transport, model, clients, dataset, rule) -> tuple:
         transport=transport,
         aggregation_rule=rule,
         client_fraction=float(scenario.params.get("client_fraction", 1.0)),
+        compression=str(scenario.params.get("compression", "none")),
     )
     result = runtime.run(
         int(scenario.params.get("num_rounds", 2)),
@@ -216,6 +218,45 @@ def run_fedavg_task(scenario: Scenario, cache: ArtifactCache, transport) -> dict
         rounds=_round_payload(result.rounds),
         final_accuracy=result.final_accuracy,
         update_bytes_total=sum(entry.update_bytes for entry in result.rounds),
+    )
+    return payload
+
+
+def run_thousand_clients_task(scenario: Scenario, cache: ArtifactCache, transport) -> dict:
+    """Thousand-client rounds: streaming-aggregation throughput + bytes-on-wire.
+
+    Runs the configured federation (all-honest, tiny per-client shards) and
+    reports wall-clock round throughput plus the round's logical payload
+    traffic — dense vs compressed — from the runtime's byte accounting.
+    """
+    params = scenario.params
+    model_factory, clients, dataset = _build_population(scenario, cache)
+    rule = _resolve_rule(params.get("aggregation", "fedavg"), params)
+    start = time.perf_counter()
+    runtime, result = _run_once(scenario, transport, model_factory(), clients, dataset, rule)
+    elapsed = time.perf_counter() - start
+    num_rounds = max(len(result.rounds), 1)
+    stats = runtime.secure_stats
+    payload = _base_payload(scenario, transport, runtime)
+    payload.update(
+        aggregation=params.get("aggregation", "fedavg"),
+        compression=str(params.get("compression", "none")),
+        rounds=_round_payload(result.rounds),
+        final_accuracy=result.final_accuracy,
+        elapsed_seconds=float(elapsed),
+        rounds_per_second=float(num_rounds / elapsed) if elapsed > 0 else float("nan"),
+        updates_per_second=(
+            float(sum(len(entry.participating_clients) for entry in result.rounds) / elapsed)
+            if elapsed > 0
+            else float("nan")
+        ),
+        bytes_on_wire=int(sum(entry.update_bytes for entry in result.rounds)),
+        dense_bytes=int(stats.update_dense_bytes),
+        compression_ratio=(
+            float(stats.update_dense_bytes / stats.update_payload_bytes)
+            if stats.update_payload_bytes
+            else float("nan")
+        ),
     )
     return payload
 
@@ -351,6 +392,7 @@ def run_shielded_global_task(scenario: Scenario, cache: ArtifactCache, transport
 
 _TASKS = {
     "fedavg": run_fedavg_task,
+    "thousand_clients": run_thousand_clients_task,
     "robust_aggregation": run_robust_aggregation_task,
     "poisoning": run_poisoning_task,
     "shielded_global": run_shielded_global_task,

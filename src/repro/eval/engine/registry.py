@@ -322,6 +322,41 @@ FL_SCALES: dict[str, dict[str, Any]] = {
 #: than the single-defender experiments at the same scale).
 _FL_TRAIN_PER_CLASS = {"tiny": 24, "bench": 64, "full": 96}
 
+#: Federation shape of the thousand-client scale sweep (ROADMAP item 3).
+#: Clients are all honest and data per client is tiny — the scenario measures
+#: the *server's* round machinery (streaming aggregation, sealing fan-out,
+#: delta compression), not local convergence.
+FL_THOUSAND_SCALES: dict[str, dict[str, Any]] = {
+    "tiny": dict(
+        num_clients=64,
+        num_rounds=1,
+        local_epochs=1,
+        client_batch_size=8,
+        client_lr=0.05,
+        num_compromised=0,
+    ),
+    "bench": dict(
+        num_clients=1000,
+        num_rounds=1,
+        local_epochs=1,
+        client_batch_size=8,
+        client_lr=0.05,
+        num_compromised=0,
+    ),
+    "full": dict(
+        num_clients=2000,
+        num_rounds=2,
+        local_epochs=1,
+        client_batch_size=8,
+        client_lr=0.05,
+        num_compromised=0,
+    ),
+}
+
+#: The thousand-client federation still hands every client at least one
+#: training sample (10 classes x per-class >= clients).
+_FL_THOUSAND_TRAIN_PER_CLASS = {"tiny": 24, "bench": 128, "full": 224}
+
 #: Every parameter the federated task runners consume.  Overrides naming one
 #: of these always route to the scenario params — including ones a task has
 #: no default for (e.g. ``dirichlet_alpha``) — never to the ExperimentConfig.
@@ -347,6 +382,7 @@ _FL_PARAM_KEYS = frozenset(
         "rules",
         "fractions",
         "attack",
+        "compression",
     }
 )
 
@@ -354,9 +390,16 @@ _FL_PARAM_KEYS = frozenset(
 _FL_TUPLE_KEYS = frozenset({"rules", "fractions"})
 
 
-def _fl_scenario(name: str, scale: str, overrides: dict[str, Any], **task_defaults) -> Scenario:
+def _fl_scenario(
+    name: str,
+    scale: str,
+    overrides: dict[str, Any],
+    scales: dict[str, dict[str, Any]] | None = None,
+    train_per_class: dict[str, int] | None = None,
+    **task_defaults,
+) -> Scenario:
     """Shared builder: split CLI overrides between FL params and the config."""
-    params = dict(FL_SCALES[scale])
+    params = dict((scales if scales is not None else FL_SCALES)[scale])
     params.update(task_defaults)
     # ``--set`` overrides naming an FL parameter go to params, the rest to
     # the ExperimentConfig (dataset sizes, eval budget, ...).  Tuple-typed
@@ -367,7 +410,8 @@ def _fl_scenario(name: str, scale: str, overrides: dict[str, Any], **task_defaul
             if key in _FL_TUPLE_KEYS:
                 value = _as_tuple(value)
             params[key] = value
-    overrides.setdefault("train_per_class", _FL_TRAIN_PER_CLASS[scale])
+    per_class = train_per_class if train_per_class is not None else _FL_TRAIN_PER_CLASS
+    overrides.setdefault("train_per_class", per_class[scale])
     config = scaled_experiment_config(scale, dataset="cifar10", **overrides)
     return Scenario(name=name, kind="federated", config=config, params=params)
 
@@ -419,6 +463,30 @@ def _fl_poisoning(scale: str, overrides: dict[str, Any]) -> Scenario:
         partition="iid",
         poison_target=0,
         trigger_size=3,
+    )
+
+
+@register_scenario(
+    "fl_thousand_clients",
+    "Federated — thousand-client rounds: streaming aggregation + delta-compressed envelopes",
+)
+def _fl_thousand_clients(scale: str, overrides: dict[str, Any]) -> Scenario:
+    # A small image size keeps the per-client model cheap: the scenario
+    # stresses the server's round machinery, not local training.
+    overrides.setdefault("image_size", 16)
+    overrides.setdefault("test_per_class", 6)
+    return _fl_scenario(
+        "fl_thousand_clients",
+        scale,
+        overrides,
+        scales=FL_THOUSAND_SCALES,
+        train_per_class=_FL_THOUSAND_TRAIN_PER_CLASS,
+        task="thousand_clients",
+        model="simple_cnn",
+        partition="iid",
+        client_fraction=1.0,
+        aggregation="fedavg",
+        compression="none",
     )
 
 

@@ -12,11 +12,15 @@ it.
 
 from repro.fl.runtime.attested import AttestationGate, ClientSession, enroll_and_attest
 from repro.fl.runtime.envelopes import (
+    COMPRESSIONS,
     BroadcastEnvelope,
+    DeltaState,
     SealedState,
     UpdateEnvelope,
+    apply_delta,
     decode_state,
     encode_state,
+    make_delta,
     seal_state,
     unseal_state,
 )
@@ -48,8 +52,10 @@ from repro.fl.runtime.transport import (
 __all__ = [
     "AttestationGate",
     "BroadcastEnvelope",
+    "COMPRESSIONS",
     "ClientSession",
     "ClientTask",
+    "DeltaState",
     "ExecutorTransport",
     "FederatedRunConfig",
     "FederatedRunResult",
@@ -64,11 +70,13 @@ __all__ = [
     "TRANSPORTS",
     "Transport",
     "UpdateEnvelope",
+    "apply_delta",
     "client_task_seed",
     "decode_state",
     "encode_state",
     "enroll_and_attest",
     "get_transport",
+    "make_delta",
     "run_client_task",
     "sample_by_fraction",
     "seal_state",

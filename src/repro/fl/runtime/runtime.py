@@ -28,15 +28,23 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-from repro.fl.aggregation import AggregationRule, fedavg
+from repro.fl.aggregation import AggregationRule, fedavg, streaming_aggregator_for
 from repro.fl.client import ClientConfig
 from repro.fl.messages import ModelUpdate, RoundResult
+from repro.fl.packing import build_plan
 from repro.fl.runtime.attested import AttestationGate, ClientSession, enroll_and_attest
 from repro.tee.errors import AttestationError
-from repro.fl.runtime.envelopes import BroadcastEnvelope, SealedState, encode_state
+from repro.fl.runtime.envelopes import (
+    COMPRESSIONS,
+    BroadcastEnvelope,
+    SealedState,
+    UpdateEnvelope,
+    encode_state,
+)
 from repro.fl.runtime.participant import ClientTask, Participant, client_task_seed
 from repro.fl.runtime.transport import InProcessTransport, Transport
 from repro.models.base import ImageClassifier
+from repro.tee.secure_channel import SecureChannel
 from repro.utils.logging import get_logger
 from repro.utils.rng import derive_seed, get_global_seed
 
@@ -117,13 +125,50 @@ class SecureTrafficStats:
     attested_clients: int = 0
     sealed_messages: int = 0
     sealed_bytes: int = 0
+    #: Logical client → server payload bytes after compression (what the
+    #: round's envelopes actually put on the wire, ciphertext overhead aside).
+    update_payload_bytes: int = 0
+    #: What the same updates would have cost shipped dense — the compression
+    #: baseline, so ``update_dense_bytes / update_payload_bytes`` is the ratio.
+    update_dense_bytes: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
             "attested_clients": self.attested_clients,
             "sealed_messages": self.sealed_messages,
             "sealed_bytes": self.sealed_bytes,
+            "update_payload_bytes": self.update_payload_bytes,
+            "update_dense_bytes": self.update_dense_bytes,
         }
+
+
+def _seal_broadcast_payload(payload: tuple[str, bytes, bytes, int, int]) -> SealedState:
+    """Seal one client's broadcast (module-level so transports can pickle it).
+
+    Rebuilds exactly the channel :meth:`ClientSession.channel` would mint for
+    ``(f"server.round{round_index}", seed)``, so fanning the sealing across
+    transport workers produces byte-identical ciphertext to the former
+    server-loop path.
+    """
+    client_id, session_key, encoded, round_index, seed = payload
+    nonce_rng = np.random.default_rng(
+        derive_seed(f"fl.session.{client_id}.server.round{round_index}", seed)
+    )
+    return SealedState(message=SecureChannel(session_key, rng=nonce_rng).encrypt(encoded))
+
+
+def _open_reply(
+    payload: tuple[UpdateEnvelope, str, bytes | None, int, dict | None]
+) -> ModelUpdate:
+    """Open one reply envelope (module-level so transports can pickle it)."""
+    reply, client_id, session_key, seed, base = payload
+    channel = None
+    if session_key is not None:
+        nonce_rng = np.random.default_rng(
+            derive_seed(f"fl.session.{client_id}.server.decrypt", seed)
+        )
+        channel = SecureChannel(session_key, rng=nonce_rng)
+    return reply.open(channel, base=base)
 
 
 class FederationRuntime:
@@ -140,7 +185,12 @@ class FederationRuntime:
         client_fraction: float = 1.0,
         seed: int | None = None,
         round_index: int = 0,
+        compression: str = "none",
     ):
+        if compression not in COMPRESSIONS:
+            raise ValueError(
+                f"unknown compression {compression!r}; expected one of {COMPRESSIONS}"
+            )
         self.global_model = global_model
         self.clients = list(clients)
         self.transport = transport if transport is not None else InProcessTransport()
@@ -148,6 +198,7 @@ class FederationRuntime:
         self.hooks = hooks if hooks is not None else RoundHooks()
         self.gate = gate
         self.client_fraction = client_fraction
+        self.compression = compression
         self.seed = seed if seed is not None else get_global_seed()
         self.round_index = round_index
         self.secure_stats = SecureTrafficStats()
@@ -208,61 +259,145 @@ class FederationRuntime:
         fraction = fraction if fraction is not None else self.client_fraction
         return sample_by_fraction(self.clients, fraction, rng)
 
-    def _build_task(
+    def _build_tasks(
         self,
-        client: Participant,
+        participants: Sequence[Participant],
         state: dict[str, np.ndarray],
         encoded: bytes | None,
-    ) -> ClientTask:
-        seed = client_task_seed(self.seed, self.round_index, client.client_id)
-        session = self._session_for(client)
-        if session is not None:
-            server_channel = session.channel(f"server.round{self.round_index}", self.seed)
-            # ``encoded`` is the round's state serialised once; only the
-            # per-client encryption differs.
-            envelope = BroadcastEnvelope(
-                round_index=self.round_index,
-                sealed=SealedState(message=server_channel.encrypt(encoded)),
+    ) -> list[ClientTask]:
+        """Build the round's client tasks, fanning per-client sealing out.
+
+        ``encoded`` is the round's state serialised once; only the per-client
+        encryption differs, so sealing parallelizes perfectly across the
+        transport's workers (byte-identically — every channel's nonce stream
+        is a pure function of ``(client_id, round, seed)``).
+        """
+        sealed_clients = [
+            client for client in participants if self._session_for(client) is not None
+        ]
+        sealed_states: dict[str, SealedState] = {}
+        if sealed_clients:
+            payloads = [
+                (
+                    client.client_id,
+                    self._session_for(client).session_key,
+                    encoded,
+                    self.round_index,
+                    self.seed,
+                )
+                for client in sealed_clients
+            ]
+            if len(payloads) >= 2:
+                sealed_list = self.transport.map(_seal_broadcast_payload, payloads)
+            else:
+                sealed_list = [_seal_broadcast_payload(payloads[0])]
+            for client, sealed in zip(sealed_clients, sealed_list):
+                sealed_states[client.client_id] = sealed
+                self.secure_stats.sealed_messages += 1
+                self.secure_stats.sealed_bytes += sealed.nbytes
+        tasks = []
+        for client in participants:
+            seed = client_task_seed(self.seed, self.round_index, client.client_id)
+            session = self._session_for(client)
+            if session is not None:
+                envelope = BroadcastEnvelope(
+                    round_index=self.round_index,
+                    sealed=sealed_states[client.client_id],
+                )
+                session_key = session.session_key
+            else:
+                # ``state`` comes from ``state_dict()`` (already fresh copies)
+                # and every client copies again in ``BroadcastEnvelope.open``,
+                # so the plaintext envelopes of one round can share arrays.
+                envelope = BroadcastEnvelope(round_index=self.round_index, state=state)
+                session_key = None
+            tasks.append(
+                ClientTask(
+                    client=client,
+                    envelope=envelope,
+                    round_index=self.round_index,
+                    seed=seed,
+                    session_key=session_key,
+                    compression=self.compression,
+                )
             )
+        return tasks
+
+    def _open_one(
+        self,
+        client: Participant,
+        reply: UpdateEnvelope,
+        base: dict[str, np.ndarray] | None,
+    ) -> ModelUpdate:
+        """Open one reply in participant order, accounting its traffic."""
+        channel = None
+        if reply.is_sealed:
+            session = self._session_for(client)
+            if session is None:  # pragma: no cover - defensive
+                raise RuntimeError(f"sealed reply from sessionless client {client.client_id!r}")
+            channel = session.channel("server.decrypt", self.seed)
             self.secure_stats.sealed_messages += 1
-            self.secure_stats.sealed_bytes += envelope.sealed.nbytes
-            session_key = session.session_key
-        else:
-            # ``state`` comes from ``state_dict()`` (already fresh copies) and
-            # every client copies again in ``BroadcastEnvelope.open``, so the
-            # plaintext envelopes of one round can share the same arrays.
-            envelope = BroadcastEnvelope(round_index=self.round_index, state=state)
-            session_key = None
-        return ClientTask(
-            client=client,
-            envelope=envelope,
-            round_index=self.round_index,
-            seed=seed,
-            session_key=session_key,
-        )
+            self.secure_stats.sealed_bytes += reply.sealed.nbytes
+        update = reply.open(channel, base=base)
+        self.secure_stats.update_payload_bytes += update.payload_nbytes
+        self.secure_stats.update_dense_bytes += update.nbytes
+        return update
 
     def _open_updates(
-        self, participants: Sequence[Participant], replies: Sequence
+        self,
+        participants: Sequence[Participant],
+        replies: Sequence,
+        base: dict[str, np.ndarray] | None = None,
     ) -> list[ModelUpdate]:
-        updates = []
-        for client, reply in zip(participants, replies):
-            channel = None
-            if reply.is_sealed:
-                session = self._session_for(client)
-                if session is None:  # pragma: no cover - defensive
-                    raise RuntimeError(f"sealed reply from sessionless client {client.client_id!r}")
-                channel = session.channel("server.decrypt", self.seed)
-                self.secure_stats.sealed_messages += 1
-                self.secure_stats.sealed_bytes += reply.sealed.nbytes
-            updates.append(reply.open(channel))
-        return updates
+        """Open a buffered batch of replies, fanning unsealing across workers."""
+        sealed = sum(1 for reply in replies if reply.is_sealed)
+        if sealed >= 2:
+            payloads = []
+            for client, reply in zip(participants, replies):
+                session = None
+                if reply.is_sealed:
+                    session = self._session_for(client)
+                    if session is None:  # pragma: no cover - defensive
+                        raise RuntimeError(
+                            f"sealed reply from sessionless client {client.client_id!r}"
+                        )
+                    self.secure_stats.sealed_messages += 1
+                    self.secure_stats.sealed_bytes += reply.sealed.nbytes
+                payloads.append(
+                    (
+                        reply,
+                        client.client_id,
+                        session.session_key if session is not None else None,
+                        self.seed,
+                        base,
+                    )
+                )
+            updates = self.transport.map(_open_reply, payloads)
+            for update in updates:
+                self.secure_stats.update_payload_bytes += update.payload_nbytes
+                self.secure_stats.update_dense_bytes += update.nbytes
+            return updates
+        return [
+            self._open_one(client, reply, base)
+            for client, reply in zip(participants, replies)
+        ]
 
     def run_round(
         self,
         eval_images: np.ndarray | None = None,
         eval_labels: np.ndarray | None = None,
     ) -> RoundResult:
-        """Broadcast, exchange local updates over the transport, aggregate."""
+        """Broadcast, stream local updates over the transport, aggregate.
+
+        When the configured rule has a streaming form (the built-ins do),
+        replies are consumed as the transport yields them — head-of-line, in
+        participant order — and folded into the aggregator incrementally, so
+        the server never holds every opened update at once.  Custom
+        ``hooks.aggregate`` rules fall back to the buffered
+        open-then-aggregate path (with unsealing fanned across the
+        transport's workers).  Both paths run the same canonical packed
+        computation, so their aggregates are byte-identical.
+        """
         participants = self.sample_clients()
         if self.hooks.broadcast_state is not None:
             state = self.hooks.broadcast_state(self.round_index)
@@ -271,11 +406,35 @@ class FederationRuntime:
         encoded = None
         if any(self._session_for(client) is not None for client in participants):
             encoded = encode_state(state)
-        tasks = [self._build_task(client, state, encoded) for client in participants]
-        replies = self.transport.exchange(tasks)
-        updates = self._open_updates(participants, replies)
-        aggregate = self.hooks.aggregate if self.hooks.aggregate is not None else self.aggregation_rule
-        aggregated = aggregate(updates)
+        tasks = self._build_tasks(participants, state, encoded)
+        base = state if self.compression != "none" else None
+        streamer = None
+        if self.hooks.aggregate is None:
+            streamer = streaming_aggregator_for(
+                self.aggregation_rule, build_plan(state), len(participants)
+            )
+        train_losses: list[float] = []
+        update_bytes = 0
+        if streamer is not None:
+            replies = self.transport.exchange_stream(tasks)
+            for client, reply in zip(participants, replies):
+                update = self._open_one(client, reply, base)
+                streamer.add(update)
+                train_losses.append(update.train_loss)
+                update_bytes += update.payload_nbytes
+                del update  # dropped immediately; the aggregator holds O(chunk)
+            aggregated = streamer.finalize()
+        else:
+            replies = self.transport.exchange(tasks)
+            updates = self._open_updates(participants, replies, base)
+            aggregate = (
+                self.hooks.aggregate
+                if self.hooks.aggregate is not None
+                else self.aggregation_rule
+            )
+            aggregated = aggregate(updates)
+            train_losses = [update.train_loss for update in updates]
+            update_bytes = sum(update.payload_nbytes for update in updates)
         if aggregated is not None:  # None: the hook installed the state itself
             self.global_model.load_state_dict(aggregated)
         accuracy = float("nan")
@@ -283,12 +442,17 @@ class FederationRuntime:
             accuracy = float(self.hooks.evaluate(self.global_model, self.round_index))
         elif eval_images is not None and eval_labels is not None:
             accuracy = self.global_model.accuracy(eval_images, eval_labels)
+        losses = np.asarray(train_losses, dtype=float)
+        if losses.size and not np.all(np.isnan(losses)):
+            mean_client_loss = float(np.nanmean(losses))
+        else:  # all-NaN: the nanmean RuntimeWarning carries no information
+            mean_client_loss = float("nan")
         result = RoundResult(
             round_index=self.round_index,
             participating_clients=[client.client_id for client in participants],
             global_accuracy=accuracy,
-            mean_client_loss=float(np.nanmean([update.train_loss for update in updates])),
-            update_bytes=sum(update.nbytes for update in updates),
+            mean_client_loss=mean_client_loss,
+            update_bytes=update_bytes,
             compromised_clients=[
                 client.client_id
                 for client in participants

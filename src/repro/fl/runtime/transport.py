@@ -22,7 +22,7 @@ throughput/deployment choice.
 from __future__ import annotations
 
 import os
-from typing import Callable, Sequence
+from typing import Callable, Iterator, Sequence
 
 from repro.eval.engine.executor import BACKENDS, CellExecutor, ExecutorConfig
 from repro.fl.runtime.envelopes import UpdateEnvelope
@@ -47,9 +47,29 @@ class Transport:
         """Order-preserving map of ``fn`` over ``items`` on this transport."""
         raise NotImplementedError
 
+    def imap(self, fn: Callable, items: Sequence) -> Iterator:
+        """Lazily yield ``fn(item)`` results in input order as they complete.
+
+        The default implementation falls back to the buffered :meth:`map`;
+        executor-backed transports stream for real, so a consumer can reduce
+        replies incrementally while later items are still in flight.
+        """
+        yield from self.map(fn, items)
+
     def exchange(self, tasks: Sequence[ClientTask]) -> list[UpdateEnvelope]:
         """FL traffic: exchange client tasks for their update envelopes."""
         return self.map(run_client_task, tasks)
+
+    def exchange_stream(self, tasks: Sequence[ClientTask]) -> Iterator[UpdateEnvelope]:
+        """Streamed FL traffic: yield update envelopes in participant order.
+
+        Replies are consumed as the transport yields them, so the server can
+        unseal and aggregate incrementally instead of holding every opened
+        update in memory before reducing.  Order is head-of-line (participant
+        order) on every backend, which keeps streamed reductions
+        byte-identical to the buffered :meth:`exchange` path.
+        """
+        yield from self.imap(run_client_task, tasks)
 
     def describe(self) -> dict:
         """JSON-able description for run records."""
@@ -79,6 +99,11 @@ class ExecutorTransport(Transport):
         items = list(items)
         self.name, _ = self._executor.resolve(len(items))
         return self._executor.map(fn, items)
+
+    def imap(self, fn: Callable, items: Sequence) -> Iterator:
+        items = list(items)
+        self.name, _ = self._executor.resolve(len(items))
+        return self._executor.imap(fn, items)
 
     def describe(self) -> dict:
         return {"transport": self.name, "max_workers": self.max_workers}

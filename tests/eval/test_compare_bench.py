@@ -41,7 +41,10 @@ class TestDirectionHeuristic:
         assert module.lower_is_better("chain_eager_seconds")
         assert module.lower_is_better("kernel_dispatch_us")
         assert module.lower_is_better("gateway_shed_rate")
+        assert module.lower_is_better("thousand_bytes_on_wire")
+        assert module.lower_is_better("quantized_bytes_on_wire")
         assert not module.lower_is_better("batched_throughput_rps")
+        assert not module.lower_is_better("quantized_compression_ratio")
         assert not module.lower_is_better("parallel_speedup")
         assert not module.lower_is_better("gateway_slo_attainment")
 

@@ -20,7 +20,13 @@ _SMOKE = dict(
     max_attack_steps=2,
 )
 
-FL_SCENARIOS = ("fl_fedavg", "fl_robust_aggregation", "fl_poisoning", "fl_shielded_global")
+FL_SCENARIOS = (
+    "fl_fedavg",
+    "fl_robust_aggregation",
+    "fl_poisoning",
+    "fl_shielded_global",
+    "fl_thousand_clients",
+)
 
 
 class TestRegistry:
@@ -112,6 +118,52 @@ class TestEngineRuns:
         )
         sweep = record.results["sweep"]
         assert [entry["poison_fraction"] for entry in sweep] == [0.0, 0.5]
+
+    def test_thousand_clients_reports_throughput_and_bytes(self, tmp_path):
+        engine = ExperimentEngine(results_dir=tmp_path)
+        record = engine.run(
+            "fl_thousand_clients",
+            scale="tiny",
+            num_clients=12,
+            train_per_class=8,
+            test_per_class=4,
+        )
+        results = record.results
+        assert results["task"] == "thousand_clients"
+        assert results["compression"] == "none"
+        assert len(results["rounds"][0]["participating_clients"]) == 12
+        for key in (
+            "rounds_per_second",
+            "updates_per_second",
+            "bytes_on_wire",
+            "dense_bytes",
+            "compression_ratio",
+            "elapsed_seconds",
+        ):
+            assert key in results, key
+        assert results["bytes_on_wire"] == results["dense_bytes"]
+        assert results["compression_ratio"] == pytest.approx(1.0)
+
+    def test_thousand_clients_quantized_compression_cuts_bytes(self, tmp_path):
+        engine = ExperimentEngine(results_dir=tmp_path)
+        dense = engine.run(
+            "fl_thousand_clients",
+            scale="tiny",
+            num_clients=8,
+            train_per_class=8,
+            test_per_class=4,
+        ).results
+        quant = engine.run(
+            "fl_thousand_clients",
+            scale="tiny",
+            num_clients=8,
+            train_per_class=8,
+            test_per_class=4,
+            compression="delta-int8",
+        ).results
+        assert quant["compression"] == "delta-int8"
+        assert quant["bytes_on_wire"] * 3 <= dense["bytes_on_wire"]
+        assert quant["compression_ratio"] >= 3.0
 
     def test_transport_follows_executor_backend(self, tmp_path):
         engine = ExperimentEngine(

@@ -8,7 +8,16 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.fl import ModelUpdate, coordinate_median, fedavg, get_aggregation_rule, trimmed_mean
+from repro.fl import (
+    CLIENT_GROUP_SIZE,
+    ModelUpdate,
+    build_plan,
+    coordinate_median,
+    fedavg,
+    get_aggregation_rule,
+    streaming_aggregator_for,
+    trimmed_mean,
+)
 
 
 def _update(client_id: str, value: float, num_samples: int = 10) -> ModelUpdate:
@@ -98,3 +107,164 @@ class TestRobustRules:
     def test_update_nbytes(self):
         update = _update("a", 1.0)
         assert update.nbytes == update.state["w"].nbytes + update.state["b"].nbytes
+
+
+# --------------------------------------------------------------------------- #
+# Packed-vs-per-key parity, streaming byte-identity, dtype preservation
+# --------------------------------------------------------------------------- #
+def _random_updates(count: int, dtype=np.float64, seed: int = 13) -> list[ModelUpdate]:
+    rng = np.random.default_rng(seed)
+    return [
+        ModelUpdate(
+            client_id=f"c{index}",
+            round_index=0,
+            num_samples=5 + (index % 7),
+            state={
+                "conv.weight": rng.normal(size=(3, 2, 2)).astype(dtype),
+                "conv.bias": rng.normal(size=(3,)).astype(dtype),
+                "fc.weight": rng.normal(size=(4, 6)).astype(dtype),
+            },
+        )
+        for index in range(count)
+    ]
+
+
+def _per_key_fedavg(updates):
+    total = sum(update.num_samples for update in updates)
+    return {
+        key: sum(
+            (update.num_samples / total) * np.asarray(update.state[key])
+            for update in updates
+        )
+        for key in updates[0].state
+    }
+
+
+def _per_key_median(updates):
+    return {
+        key: np.median(np.stack([update.state[key] for update in updates]), axis=0)
+        for key in updates[0].state
+    }
+
+
+def _per_key_trimmed_mean(updates, trim_fraction=0.2):
+    trim = int(np.floor(trim_fraction * len(updates)))
+    out = {}
+    for key in updates[0].state:
+        stacked = np.sort(np.stack([update.state[key] for update in updates]), axis=0)
+        kept = stacked[trim : len(updates) - trim] if len(updates) - 2 * trim > 0 else stacked
+        out[key] = kept.mean(axis=0)
+    return out
+
+
+class TestPackedParity:
+    """The packed rules agree with naive per-key references.
+
+    The packed iteration order (broadcast ``state_dict`` order) is the
+    canonical aggregation order; per-key results agree to float round-off
+    while the packed bytes are the pinned ones.
+    """
+
+    def test_fedavg_matches_per_key_loop(self):
+        updates = _random_updates(37)
+        packed = fedavg(updates)
+        reference = _per_key_fedavg(updates)
+        for key, value in reference.items():
+            np.testing.assert_allclose(packed[key], value, rtol=1e-12, atol=1e-12)
+
+    def test_median_matches_per_key_loop(self):
+        updates = _random_updates(9)
+        packed = coordinate_median(updates)
+        reference = _per_key_median(updates)
+        for key, value in reference.items():
+            np.testing.assert_array_equal(packed[key], value)
+
+    def test_trimmed_mean_matches_per_key_loop(self):
+        updates = _random_updates(11)
+        packed = trimmed_mean(updates, trim_fraction=0.2)
+        reference = _per_key_trimmed_mean(updates, trim_fraction=0.2)
+        for key, value in reference.items():
+            np.testing.assert_allclose(packed[key], value, rtol=1e-12, atol=1e-12)
+
+
+class TestStreamingByteIdentity:
+    def _streamed(self, rule, updates, **kwargs):
+        plan = build_plan(updates[0].state)
+        streamer = streaming_aggregator_for(rule, plan, len(updates))
+        assert streamer is not None
+        for update in updates:
+            streamer.add(update)
+        return streamer.finalize()
+
+    @pytest.mark.parametrize("rule", [fedavg, coordinate_median, trimmed_mean])
+    def test_streamed_bytes_equal_batch_bytes(self, rule):
+        # Spans multiple fedavg client groups, including a partial tail.
+        updates = _random_updates(CLIENT_GROUP_SIZE * 2 + 5)
+        batch = rule(updates)
+        streamed = self._streamed(rule, updates)
+        assert set(batch) == set(streamed)
+        for key in batch:
+            assert batch[key].tobytes() == streamed[key].tobytes()
+
+    def test_robust_rules_invariant_to_chunk_size(self):
+        updates = _random_updates(7)
+        for rule in (coordinate_median, trimmed_mean):
+            reference = {key: value.tobytes() for key, value in rule(updates).items()}
+            for chunk in (1, 3, 5, 64, 10**6):
+                chunked = rule(updates, chunk_elements=chunk)
+                assert {k: v.tobytes() for k, v in chunked.items()} == reference, (
+                    f"{rule.__name__} bytes changed at chunk={chunk}"
+                )
+
+    def test_streamed_counts_are_enforced(self):
+        updates = _random_updates(4)
+        plan = build_plan(updates[0].state)
+        streamer = streaming_aggregator_for(fedavg, plan, 3)
+        for update in updates[:3]:
+            streamer.add(update)
+        with pytest.raises(ValueError):
+            streamer.add(updates[3])
+        short = streaming_aggregator_for(fedavg, plan, 3)
+        short.add(updates[0])
+        with pytest.raises(ValueError):
+            short.finalize()
+
+    def test_unknown_rule_has_no_streamer(self):
+        updates = _random_updates(2)
+        plan = build_plan(updates[0].state)
+        assert streaming_aggregator_for(lambda ups: {}, plan, 2) is None
+
+
+class TestDtypePreservation:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    @pytest.mark.parametrize("rule", [fedavg, coordinate_median, trimmed_mean])
+    def test_aggregate_keeps_update_dtype(self, rule, dtype):
+        updates = _random_updates(6, dtype=dtype)
+        aggregated = rule(updates)
+        for key, value in aggregated.items():
+            assert value.dtype == np.dtype(dtype), (key, value.dtype)
+            assert value.shape == updates[0].state[key].shape
+
+
+class TestValidationErrors:
+    def test_shape_mismatch_names_client_and_key(self):
+        updates = _random_updates(3)
+        bad_state = dict(updates[1].state)
+        bad_state["fc.weight"] = bad_state["fc.weight"].T.copy()
+        updates[1] = ModelUpdate(
+            client_id="c1", round_index=0, num_samples=5, state=bad_state
+        )
+        for rule in (fedavg, coordinate_median, trimmed_mean):
+            with pytest.raises(ValueError, match=r"c1.*fc\.weight"):
+                rule(updates)
+
+    def test_dtype_mismatch_names_client_and_key(self):
+        updates = _random_updates(3)
+        bad_state = dict(updates[2].state)
+        bad_state["conv.bias"] = bad_state["conv.bias"].astype(np.float32)
+        updates[2] = ModelUpdate(
+            client_id="c2", round_index=0, num_samples=5, state=bad_state
+        )
+        for rule in (fedavg, coordinate_median, trimmed_mean):
+            with pytest.raises(ValueError, match=r"c2.*conv\.bias"):
+                rule(updates)

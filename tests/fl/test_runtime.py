@@ -21,6 +21,8 @@ from repro.fl import (
     trimmed_mean,
     coordinate_median,
     fedavg,
+    make_delta,
+    apply_delta,
 )
 from repro.fl.messages import ModelUpdate
 from repro.fl.runtime import decode_state, encode_state, seal_state, unseal_state
@@ -152,6 +154,34 @@ class TestTransportParity:
     def test_unknown_transport_rejected(self):
         with pytest.raises(KeyError):
             get_transport("carrier-pigeon")
+
+    def _streamed_aggregate(self, workers: int, aggregation_rule):
+        """Global model bytes after a streamed round on ``workers`` threads."""
+        set_global_seed(777)
+        rng = np.random.default_rng(5)
+        images, labels = _toy_data(rng)
+        runtime = FederationRuntime(
+            _mlp_factory(),
+            _honest_clients(images, labels, count=5),
+            transport=get_transport("thread", max_workers=workers),
+            aggregation_rule=aggregation_rule,
+        )
+        result = runtime.run_round(images, labels)
+        state = runtime.global_model.state_dict()
+        return (
+            {key: np.asarray(value).tobytes() for key, value in state.items()},
+            result.update_bytes,
+            result.global_accuracy,
+        )
+
+    @pytest.mark.parametrize("rule", [fedavg, coordinate_median, trimmed_mean])
+    def test_streamed_aggregates_byte_identical_across_worker_counts(self, rule):
+        """Streaming reduce is pinned: {1, 2, 8} workers give the same bytes."""
+        reference = self._streamed_aggregate(1, rule)
+        for workers in (2, 8):
+            assert self._streamed_aggregate(workers, rule) == reference, (
+                f"{rule.__name__} aggregate bytes changed at {workers} workers"
+            )
 
 
 # --------------------------------------------------------------------------- #
@@ -378,3 +408,129 @@ class TestRoundHooks:
             FederationRuntime(
                 _mlp_factory(), _honest_clients(images, labels), client_fraction=0.0
             ).run_round()
+
+    def test_all_nan_losses_stay_silent(self, rng):
+        """A round whose every train_loss is NaN reports NaN, no warning."""
+        import dataclasses
+        import warnings
+
+        class LossLessClient(HonestClient):
+            def local_update(self, round_index, rng=None):
+                update = super().local_update(round_index, rng=rng)
+                return dataclasses.replace(update, train_loss=float("nan"))
+
+        images, labels = _toy_data(rng)
+        runtime = FederationRuntime(
+            _mlp_factory(),
+            [LossLessClient("mute", _mlp_factory, images[:30], labels[:30])],
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            result = runtime.run_round()
+        assert np.isnan(result.mean_client_loss)
+
+
+# --------------------------------------------------------------------------- #
+# Delta-compressed envelopes
+# --------------------------------------------------------------------------- #
+class TestDeltaCompression:
+    def _states(self, rng):
+        base = {"w": rng.normal(size=(3, 4)), "b": rng.normal(size=(4,))}
+        new = {key: value + rng.normal(scale=0.01, size=value.shape) for key, value in base.items()}
+        return base, new
+
+    def test_float_delta_roundtrip_is_exact(self, rng):
+        base, new = self._states(rng)
+        delta = make_delta(new, base)
+        assert not delta.is_quantized
+        restored = apply_delta(base, delta)
+        for key in base:
+            np.testing.assert_array_equal(restored[key], (new[key] - base[key]) + base[key])
+
+    def test_quantized_delta_error_bounded_by_scale(self, rng):
+        base, new = self._states(rng)
+        delta = make_delta(new, base, quantize_rng=np.random.default_rng(42))
+        assert delta.is_quantized
+        assert all(codes.dtype == np.int8 for codes in delta.codes.values())
+        restored = apply_delta(base, delta)
+        for key in base:
+            scale = delta.scales[key]
+            assert np.max(np.abs(restored[key] - new[key])) <= scale + 1e-12
+
+    def test_quantized_delta_is_deterministic_in_the_seed(self, rng):
+        base, new = self._states(rng)
+        one = make_delta(new, base, quantize_rng=np.random.default_rng(9))
+        two = make_delta(new, base, quantize_rng=np.random.default_rng(9))
+        for key in one.codes:
+            np.testing.assert_array_equal(one.codes[key], two.codes[key])
+
+    def test_quantized_bytes_beat_dense(self, rng):
+        base, new = self._states(rng)
+        dense_bytes = sum(np.asarray(value).nbytes for value in new.values())
+        delta = make_delta(new, base, quantize_rng=np.random.default_rng(1))
+        assert delta.nbytes * 3 <= dense_bytes
+
+    def test_delta_envelope_roundtrip_and_wire_bytes(self, rng):
+        base, new = self._states(rng)
+        update = ModelUpdate(
+            client_id="c0", round_index=2, num_samples=5, state=new,
+            train_loss=0.1, train_accuracy=0.8,
+        )
+        delta = make_delta(new, base)
+        envelope = UpdateEnvelope.from_update(update, delta=delta)
+        assert envelope.wire_nbytes == delta.nbytes
+        reopened = envelope.open(base=base)
+        assert reopened.payload_nbytes == delta.nbytes
+        for key in base:
+            np.testing.assert_array_equal(reopened.state[key], apply_delta(base, delta)[key])
+
+    def test_delta_envelope_requires_base(self, rng):
+        base, new = self._states(rng)
+        update = ModelUpdate(client_id="c0", round_index=0, num_samples=5, state=new)
+        envelope = UpdateEnvelope.from_update(update, delta=make_delta(new, base))
+        with pytest.raises(ValueError):
+            envelope.open()
+
+    def test_apply_delta_rejects_mismatched_keys(self, rng):
+        base, new = self._states(rng)
+        delta = make_delta(new, base)
+        with pytest.raises(ValueError):
+            apply_delta({"w": base["w"]}, delta)
+
+    def test_unknown_compression_rejected(self, rng):
+        images, labels = _toy_data(rng)
+        with pytest.raises(ValueError):
+            FederationRuntime(
+                _mlp_factory(),
+                _honest_clients(images, labels),
+                compression="gzip",
+            )
+
+    def _round_with(self, compression, rng_seed=21):
+        set_global_seed(808)
+        rng = np.random.default_rng(rng_seed)
+        images, labels = _toy_data(rng)
+        runtime = FederationRuntime(
+            _mlp_factory(),
+            _honest_clients(images, labels),
+            compression=compression,
+        )
+        result = runtime.run_round(images, labels)
+        return runtime, result
+
+    def test_quantized_round_cuts_bytes_on_wire(self):
+        _, dense = self._round_with("none")
+        runtime, quant = self._round_with("delta-int8")
+        assert quant.update_bytes * 3 <= dense.update_bytes
+        stats = runtime.secure_stats
+        assert stats.update_payload_bytes == quant.update_bytes
+        assert stats.update_dense_bytes >= 3 * stats.update_payload_bytes
+        # Accuracy stays in the same regime despite int8 update coding.
+        assert abs(quant.global_accuracy - dense.global_accuracy) <= 0.2
+
+    def test_float_delta_round_matches_dense_sizes(self):
+        """Un-quantized deltas reshape the payload, not its size."""
+        _, dense = self._round_with("none")
+        _, delta = self._round_with("delta")
+        assert delta.update_bytes == dense.update_bytes
+        assert np.isfinite(delta.global_accuracy)
